@@ -1,0 +1,62 @@
+"""Ablation benchmarks: what each design choice buys (DESIGN.md)."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import ablations
+
+
+def test_isax_coupling_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.isax_ablation(bench_set()),
+        rounds=1, iterations=1)
+    table = [["ablation", "setting", "geomean_slowdown"]]
+    table.extend(r.as_row() for r in rows)
+    print()
+    print(format_table(table, title="ISAX coupling ablation"))
+    by_setting = {r.setting: r.geomean_slowdown for r in rows}
+    # §III-D: the stock post-commit interface causes large slowdowns.
+    assert by_setting["post_commit"] > by_setting["ma_stage"]
+
+
+def test_mapper_width_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.mapper_width_ablation(bench_set()),
+        rounds=1, iterations=1)
+    table = [["ablation", "setting", "geomean_slowdown"]]
+    table.extend(r.as_row() for r in rows)
+    print()
+    print(format_table(table, title="Mapper width ablation"))
+    by_setting = {r.setting: r.geomean_slowdown for r in rows}
+    # §III-C: on a 4-wide BOOM the scalar mapper is nearly free — the
+    # superscalar variant buys almost nothing.
+    assert by_setting["1"] - by_setting["4"] < 0.10
+
+
+def test_queue_sizing_ablations(benchmark):
+    def run_all():
+        return (ablations.fifo_depth_ablation(bench_set())
+                + ablations.cdc_depth_ablation(bench_set())
+                + ablations.msgq_depth_ablation(bench_set()))
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [["ablation", "setting", "geomean_slowdown"]]
+    table.extend(r.as_row() for r in rows)
+    print()
+    print(format_table(table, title="Queue sizing ablations"))
+    # Starved queues can only hurt.
+    fifo = {r.setting: r.geomean_slowdown for r in rows
+            if r.name == "filter_fifo_depth"}
+    assert fifo["4"] >= fifo["64"] - 0.02
+
+
+def test_block_size_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.block_size_ablation(bench_set()),
+        rounds=1, iterations=1)
+    table = [["ablation", "setting", "geomean_slowdown"]]
+    table.extend(r.as_row() for r in rows)
+    print()
+    print(format_table(table, title="Shadow-stack block size ablation"))
+    for row in rows:
+        assert row.geomean_slowdown < 1.25

@@ -1,0 +1,110 @@
+"""Component microbenchmarks: throughput of the individual FireGuard
+elements (useful for regression-tracking the simulator itself)."""
+
+from repro.core.allocator import Allocator, Distributor
+from repro.core.event_filter import EventFilter
+from repro.core.forwarding import DataForwardingChannel
+from repro.core.minifilter import FilterEntry
+from repro.core.msgqueue import WordQueue
+from repro.core.noc import MeshNoc, NocParams
+from repro.core.packet import Packet
+from repro.core.scheduling import SchedulingEngine, SchedulingPolicy
+from repro.isa import opcodes as op
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.mem.cache import CacheParams, SetAssocCache
+from repro.ooo.core import MainCore
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.record import InstrRecord
+
+
+def _load_record(seq):
+    word = encode_instr("ld", rd=5, rs1=8)
+    return InstrRecord(seq=seq, pc=0x100 + seq * 4, word=word,
+                       opcode=op.OP_LOAD, funct3=3,
+                       iclass=InstrClass.LOAD, dst=5, srcs=(8,),
+                       mem_addr=0x1000 + seq * 64, mem_size=8)
+
+
+def test_event_filter_throughput(benchmark):
+    fwd = DataForwardingChannel(None)
+    records = [_load_record(i) for i in range(256)]
+
+    def run():
+        f = EventFilter(width=4, fifo_depth=16, forwarding=fwd,
+                        high_period_ns=0.3125)
+        f.program(op.OP_LOAD, 3, FilterEntry(gid=1, dp_sel=0x2))
+        emitted = 0
+        i = 0
+        cycle = 0
+        while emitted < len(records):
+            while i < len(records) and f.offer(records[i], i % 4, cycle):
+                i += 1
+                if i % 4 == 0:
+                    break
+            if f.arbitrate(cycle) is not None:
+                emitted += 1
+            cycle += 1
+        return emitted
+
+    assert benchmark(run) == 256
+
+
+def test_allocator_throughput(benchmark):
+    d = Distributor(max_gids=8, num_ses=4)
+    ses = [SchedulingEngine(i, engines=[4 * i + j for j in range(4)],
+                            num_engines_total=16,
+                            policy=SchedulingPolicy.ROUND_ROBIN)
+           for i in range(4)]
+    for se in range(4):
+        d.subscribe(1, se)
+    alloc = Allocator(d, ses, num_engines=16)
+    pkt = Packet(seq=0, gid=1, record=_load_record(0), commit_ns=0.0)
+
+    def run():
+        total = 0
+        for _ in range(1000):
+            total += alloc.route(pkt)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_noc_throughput(benchmark):
+    def run():
+        noc = MeshNoc(NocParams(rows=4, cols=4),
+                      [WordQueue(256) for _ in range(16)])
+        for i in range(500):
+            noc.send(i % 16, (i * 7) % 16, i, low_cycle=i)
+        cycle = 0
+        while not noc.idle:
+            noc.step(cycle)
+            cycle += 1
+        return cycle
+
+    assert benchmark(run) > 0
+
+
+def test_cache_lookup_throughput(benchmark):
+    cache = SetAssocCache(CacheParams(name="bench",
+                                      size_bytes=32 * 1024, ways=8))
+
+    def run():
+        hits = 0
+        for i in range(2000):
+            hit, _ = cache.lookup((i * 64) % (64 * 1024), i, 10)
+            hits += hit
+        return hits
+
+    benchmark(run)
+
+
+def test_main_core_simulation_rate(benchmark):
+    trace = generate_trace(PARSEC_PROFILES["swaptions"], seed=9,
+                           length=4000)
+
+    def run():
+        return MainCore().run_standalone(trace).cycles
+
+    assert benchmark(run) > 0

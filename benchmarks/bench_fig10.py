@@ -1,0 +1,27 @@
+"""Fig 10 benchmark: slowdown vs µcore count, one test per panel."""
+
+import pytest
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig10
+
+PANELS = [("a", "pmc"), ("b", "shadow_stack"), ("c", "asan"),
+          ("d", "uaf")]
+
+
+@pytest.mark.parametrize("panel,kernel", PANELS)
+def test_fig10_scalability(benchmark, panel, kernel):
+    counts = fig10.SWEEPS[kernel]
+    table = benchmark.pedantic(
+        lambda: fig10.run(kernel, benchmarks=bench_set(), counts=counts),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        table.rows(),
+        title=f"Fig 10({panel}): {kernel} slowdown vs ucore count"))
+    # Shape: more µcores never hurt (geomean), and the largest sweep
+    # point has (near-)minimal slowdown.
+    first = table.scheme_geomean(f"{counts[0]}uc")
+    last = table.scheme_geomean(f"{counts[-1]}uc")
+    assert last <= first + 0.02

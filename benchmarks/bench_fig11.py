@@ -1,0 +1,23 @@
+"""Fig 11 benchmark: programming models (PMC, 4 µcores)."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig11
+
+
+def test_fig11_programming_models(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig11.run(benchmarks=bench_set()),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(table.rows(),
+                       title="Fig 11: programming models (PMC)"))
+    conv = table.scheme_geomean("conventional")
+    duff = table.scheme_geomean("duff")
+    hybrid = table.scheme_geomean("hybrid")
+    unrolled = table.scheme_geomean("unrolled")
+    # Shape: conventional worst; hazard-aware strategies win.
+    assert conv >= duff - 1e-9
+    assert conv >= hybrid
+    assert min(hybrid, unrolled) <= duff + 1e-9

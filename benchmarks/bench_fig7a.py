@@ -1,0 +1,21 @@
+"""Fig 7(a) benchmark: FireGuard (4 µcores / 1 HA) vs software."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig7a
+
+
+def test_fig7a_fireguard_vs_software(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig7a.run(benchmarks=bench_set()),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(table.rows(),
+                       title="Fig 7(a): slowdown vs software schemes"))
+    # Shape checks from the paper: HA removes PMC overhead; FireGuard
+    # ASan beats software ASan on every benchmark measured.
+    for bench in bench_set():
+        assert table.get(bench, "pmc_fg_ha") <= 1.02
+        assert table.get(bench, "asan_fg_4uc") \
+            < table.get(bench, "asan_sw_aarch64")

@@ -1,0 +1,21 @@
+"""Fig 7(b) benchmark: combined safeguards."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig7b
+
+
+def test_fig7b_combined_safeguards(benchmark):
+    table = benchmark.pedantic(
+        lambda: fig7b.run(benchmarks=bench_set()),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(table.rows(),
+                       title="Fig 7(b): combined safeguards"))
+    # Shape: combinations cost at least as much as their parts would
+    # singly, but nowhere near the product (the paper's headline).
+    for bench in bench_set():
+        two = table.get(bench, "ss+pmc")
+        three = table.get(bench, "ss+pmc+as")
+        assert three >= two - 0.05

@@ -1,0 +1,31 @@
+"""Fig 8 benchmark: detection latency distributions."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig8
+
+
+def test_fig8_detection_latency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig8.run(benchmarks=bench_set(), attacks=30),
+        rounds=1, iterations=1)
+    table = [["benchmark", "kernel", "injected", "detected", "min_ns",
+              "median_ns", "p90_ns", "max_ns"]]
+    table.extend(r.as_row() for r in rows)
+    print()
+    print(format_table(table, title="Fig 8: detection latency (ns)"))
+
+    by_kernel = {}
+    for row in rows:
+        if row.summary is not None:
+            by_kernel.setdefault(row.kernel, []).append(
+                row.summary.median)
+    # Shape: PMC is the fastest detector; ASan's tail exceeds PMC's.
+    pmc = max(by_kernel["pmc"])
+    asan = max(by_kernel["asan"])
+    assert pmc <= asan
+    # Detection rates: the vast majority of attacks are caught.
+    detected = sum(r.detected for r in rows)
+    injected = sum(r.injected for r in rows)
+    assert detected >= injected * 0.85

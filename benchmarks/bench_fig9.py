@@ -1,0 +1,24 @@
+"""Fig 9 benchmark: bottlenecks vs event-filter width."""
+
+from conftest import bench_set
+
+from repro.analysis.report import format_table
+from repro.experiments import fig9
+
+
+def test_fig9_filter_width_bottlenecks(benchmark):
+    reports = benchmark.pedantic(
+        lambda: fig9.run(benchmarks=bench_set()),
+        rounds=1, iterations=1)
+    table = [["benchmark", "width", "slowdown", "filter_full",
+              "mapper_blocked", "cdc_full", "msgq_full"]]
+    table.extend(r.as_row() for r in reports)
+    print()
+    print(format_table(table,
+                       title="Fig 9: bottlenecks vs filter width"))
+    gms = fig9.width_geomeans(reports)
+    print(f"geomeans: width4={gms[4]:.3f} width2={gms[2]:.3f} "
+          f"width1={gms[1]:.3f}")
+    # Shape: narrower filters are strictly no faster.
+    assert gms[1] >= gms[2] - 1e-9
+    assert gms[2] >= gms[4] - 1e-9

@@ -1,0 +1,35 @@
+"""Table III benchmark: feasibility analysis (pure arithmetic)."""
+
+import pytest
+
+from repro.analysis.area import (
+    feasibility_table,
+    fireguard_area_breakdown,
+    soc_overhead,
+)
+from repro.analysis.report import format_table
+from repro.experiments import table3
+
+
+def test_table3_feasibility(benchmark):
+    per_core, per_soc = benchmark(table3.run)
+    print()
+    print(format_table(per_core, title="Table III: per-core overhead"))
+    print(format_table(per_soc, title="Table III: per-SoC overhead"))
+    rows = {r.processor: r for r in feasibility_table()}
+    assert rows["FireStorm"].num_ucores == 12
+    assert rows["AlderLake-S"].num_ucores == 13
+    assert rows["FireStorm"].overhead_pct_of_core == pytest.approx(
+        3.6, abs=0.1)
+
+
+def test_area_breakdown(benchmark):
+    breakdown = benchmark(fireguard_area_breakdown)
+    assert breakdown.fireguard_total == pytest.approx(0.287)
+
+
+def test_soc_overhead_under_1_2_percent(benchmark):
+    socs = benchmark(soc_overhead)
+    for soc in socs:
+        if not soc.name.startswith("prototype"):
+            assert soc.overhead_pct() < 1.2

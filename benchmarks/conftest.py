@@ -1,0 +1,22 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table/figure and prints it.  To
+keep ``pytest benchmarks/ --benchmark-only`` tractable, the default
+run uses a representative benchmark subset and a reduced trace length;
+set ``REPRO_BENCH_SET=full`` and/or ``REPRO_TRACE_LEN=<n>`` for the
+full sweep.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_TRACE_LEN", "6000")
+
+FAST_BENCHMARKS = ("swaptions", "dedup", "x264")
+
+
+def bench_set() -> tuple[str, ...]:
+    from repro.trace.profiles import PARSEC_BENCHMARKS
+
+    if os.environ.get("REPRO_BENCH_SET", "fast") == "full":
+        return PARSEC_BENCHMARKS
+    return FAST_BENCHMARKS

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Write your own guardian kernel.
+
+FireGuard's point is programmability: new checks are software.  This
+example implements a *watchpoint* kernel from scratch — it monitors
+all stores and alerts when any store hits a guarded address range
+(think: a hardware data breakpoint over an arbitrary region, always
+on).  The kernel is ~15 lines of µcore assembly.
+"""
+
+from repro.core.scheduling import SchedulingPolicy
+from repro.core.system import FireGuardSystem, run_baseline
+from repro.kernels import GROUP_MEM
+from repro.kernels.base import GuardianKernel
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+# Guard the first 4 KB of the workload's global data region.
+GUARD_LO = 0x0000_0001_0000_0000
+GUARD_HI = GUARD_LO + 0x1000
+
+
+class WatchpointKernel(GuardianKernel):
+    """Alert on any store into [s1, s2)."""
+
+    name = "watchpoint"
+    groups = (GROUP_MEM,)
+    policy = SchedulingPolicy.ROUND_ROBIN
+
+    def preset_registers(self, engine_id, engine_ids, position):
+        regs = super().preset_registers(engine_id, engine_ids, position)
+        regs[9] = GUARD_LO    # s1
+        regs[18] = GUARD_HI   # s2
+        return regs
+
+    def program_source(self) -> str:
+        return """
+# Watchpoint: alert on stores into the guarded range [s1, s2).
+loop:
+    qpop    a0, 0            # metadata word
+    andi    t0, a0, 2        # store flag (bit 1)
+    beqz    t0, loop
+    qrecent a1, 128          # store address
+    bltu    a1, s1, loop
+    bgeu    a1, s2, loop
+    alerti  42               # store into the guarded range!
+    j       loop
+"""
+
+
+def main() -> None:
+    trace = generate_trace(PARSEC_PROFILES["freqmine"], seed=3,
+                           length=10000)
+    stores_in_range = sum(
+        1 for r in trace.records
+        if r.iclass.name == "STORE" and GUARD_LO <= r.mem_addr < GUARD_HI)
+    print(f"workload contains {stores_in_range} stores into the "
+          f"guarded 4 KB region")
+
+    base = run_baseline(trace)
+    system = FireGuardSystem([WatchpointKernel()])
+    result = system.run(trace)
+
+    hits = [a for a in result.alerts if a.code == 42]
+    print(f"watchpoint fired {len(hits)} times "
+          f"(expected {stores_in_range})")
+    print(f"slowdown: {result.cycles / base:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Detect return-address hijacks with the shadow-stack kernel.
+
+Injects ROP-style attacks (hijacked return targets) into a workload
+and shows the shadow stack catching every one, with detection
+latencies in nanoseconds (the paper's Fig 8 measurement).
+"""
+
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.trace.attacks import AttackKind, inject_attacks
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.utils.stats import summarize_latencies
+
+
+def main() -> None:
+    trace = generate_trace(PARSEC_PROFILES["bodytrack"], seed=7,
+                           length=12000)
+    sites = inject_attacks(trace, AttackKind.RET_HIJACK, count=25)
+    print(f"injected {len(sites)} return-address hijacks, e.g.:")
+    for site in sites[:3]:
+        print(f"  attack {site.attack_id} at instruction {site.seq}: "
+              f"{site.detail}")
+
+    system = FireGuardSystem([make_kernel("shadow_stack")])
+    result = system.run(trace)
+
+    print(f"\ndetected {len(result.detections)}/{len(sites)} attacks")
+    summary = summarize_latencies(result.detection_latencies())
+    print(f"detection latency: min {summary.minimum:.0f} ns, "
+          f"median {summary.median:.0f} ns, "
+          f"p90 {summary.p90:.0f} ns, max {summary.maximum:.0f} ns")
+
+    # The same check in fixed-function hardware (1 HA) detects with
+    # zero main-core overhead (§IV-A).
+    system_ha = FireGuardSystem([make_kernel("shadow_stack")],
+                                accelerated={"shadow_stack"})
+    result_ha = system_ha.run(trace)
+    print(f"\nhardware-accelerator variant: "
+          f"{len(result_ha.detections)}/{len(sites)} detected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Feasibility: what would FireGuard cost on *your* core?
+
+Reproduces the Table III methodology interactively: give the model a
+core's area, technology node, IPC and frequency, and it estimates the
+FireGuard configuration (filter width, µcore count) and silicon
+overhead needed to keep up.
+"""
+
+from repro.analysis.area import (
+    BOOM_SPEC,
+    DENSITY_TO_14NM,
+    ProcessorSpec,
+    feasibility_row,
+    feasibility_table,
+)
+from repro.analysis.report import format_table
+
+
+def estimate(name: str, freq_ghz: float, tech_nm: int, area_mm2: float,
+             ipc: float, commit_width: int) -> list[str]:
+    spec = ProcessorSpec(
+        name=name, soc="custom", freq_ghz=freq_ghz, tech_nm=tech_nm,
+        area_mm2=area_mm2, ipc=ipc,
+        published_throughput=(ipc * freq_ghz)
+        / (BOOM_SPEC.ipc * BOOM_SPEC.freq_ghz),
+        filter_width=commit_width)
+    row = feasibility_row(spec)
+    return [name, f"{row.area_at_14nm:.2f}", f"{row.num_ucores}",
+            f"{row.overhead_mm2:.2f}",
+            f"{row.overhead_pct_of_core:.1f}%"]
+
+
+def main() -> None:
+    print("Paper's Table III processors:")
+    rows = [["processor", "area@14nm", "ucores", "overhead", "pct"]]
+    for r in feasibility_table():
+        rows.append([r.processor, f"{r.area_at_14nm:.2f}",
+                     str(r.num_ucores), f"{r.overhead_mm2:.2f}",
+                     f"{r.overhead_pct_of_core:.1f}%"])
+    print(format_table(rows))
+
+    print("\nHypothetical custom cores:")
+    rows = [["processor", "area@14nm", "ucores", "overhead", "pct"]]
+    rows.append(estimate("embedded-2wide", freq_ghz=1.5, tech_nm=14,
+                         area_mm2=0.6, ipc=1.0, commit_width=2))
+    rows.append(estimate("server-6wide", freq_ghz=3.6, tech_nm=7,
+                         area_mm2=4.2, ipc=3.2, commit_width=6))
+    print(format_table(rows))
+    print(f"\n(density factors to 14 nm: {DENSITY_TO_14NM})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package needed for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

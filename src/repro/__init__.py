@@ -1,0 +1,46 @@
+"""FireGuard (DAC 2025) reproduction.
+
+A cycle-level Python implementation of fine-grained security analysis
+on an out-of-order superscalar core: the FireGuard microarchitecture
+(data-forwarding channel, superscalar event filter, broadcast-free
+mapper, ISAX programming model) plus every substrate it depends on —
+a BOOM-like main core, Rocket-like µcore analysis engines, guardian
+kernels, software baselines, and harnesses reproducing every table and
+figure of the paper's evaluation.
+
+Quick tour::
+
+    from repro.core.system import FireGuardSystem, run_baseline
+    from repro.kernels import make_kernel
+    from repro.trace.generator import generate_trace
+    from repro.trace.profiles import PARSEC_PROFILES
+
+    trace = generate_trace(PARSEC_PROFILES["x264"], seed=1, length=10000)
+    system = FireGuardSystem([make_kernel("asan")])
+    result = system.run(trace)
+    print(result.cycles / run_baseline(trace))
+
+See DESIGN.md for the architecture map and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import FireGuardConfig
+from repro.core.system import FireGuardSystem, SystemResult, run_baseline
+from repro.kernels import KERNELS, make_kernel
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_BENCHMARKS, PARSEC_PROFILES
+
+__all__ = [
+    "FireGuardConfig",
+    "FireGuardSystem",
+    "KERNELS",
+    "PARSEC_BENCHMARKS",
+    "PARSEC_PROFILES",
+    "SystemResult",
+    "__version__",
+    "generate_trace",
+    "make_kernel",
+    "run_baseline",
+]

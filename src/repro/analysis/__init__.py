@@ -1,0 +1,32 @@
+"""Analysis: slowdown metrics, area/feasibility models, reporting."""
+
+from repro.analysis.area import (
+    COMMERCIAL_PROCESSORS,
+    FIREGUARD_AREA,
+    AreaBreakdown,
+    ProcessorSpec,
+    SocSpec,
+    feasibility_row,
+    feasibility_table,
+    fireguard_area_breakdown,
+    soc_overhead,
+)
+from repro.analysis.bottleneck import BottleneckReport, bottleneck_report
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.report import format_table
+
+__all__ = [
+    "AreaBreakdown",
+    "BottleneckReport",
+    "COMMERCIAL_PROCESSORS",
+    "FIREGUARD_AREA",
+    "ProcessorSpec",
+    "SlowdownTable",
+    "SocSpec",
+    "bottleneck_report",
+    "feasibility_row",
+    "feasibility_table",
+    "fireguard_area_breakdown",
+    "format_table",
+    "soc_overhead",
+]

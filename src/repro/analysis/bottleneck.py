@@ -1,0 +1,55 @@
+"""Queue-full bottleneck attribution (Fig 9).
+
+Fig 9 decomposes FireGuard's overhead by "the proportion of time
+queues are full" at each element — filter FIFOs, mapper, CDC, and the
+µcores' message queues — across event-filter widths.  The report here
+computes those proportions from a :class:`SystemResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import SystemResult
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Fractions of time each element's queues were full."""
+
+    benchmark: str
+    filter_width: int
+    slowdown: float
+    filter_full: float      # lane FIFOs full (fraction of high cycles)
+    mapper_blocked: float   # arbiter held because the CDC was full
+    cdc_full: float         # CDC full (fraction of low cycles)
+    msgq_full: float        # message queues full (fraction of
+    #                         engine-cycles in the low domain)
+
+    def as_row(self) -> list[str]:
+        return [
+            self.benchmark, str(self.filter_width),
+            f"{self.slowdown:.3f}", f"{self.filter_full:.4f}",
+            f"{self.mapper_blocked:.4f}", f"{self.cdc_full:.4f}",
+            f"{self.msgq_full:.4f}",
+        ]
+
+
+def bottleneck_report(benchmark: str, filter_width: int,
+                      result: SystemResult, baseline_cycles: int,
+                      num_engines: int) -> BottleneckReport:
+    """Build the Fig 9 decomposition for one run."""
+    if result.cycles <= 0 or baseline_cycles <= 0:
+        raise ReproError("cycle counts must be positive")
+    high_cycles = result.cycles
+    low_cycles = max(1, high_cycles // 2)
+    return BottleneckReport(
+        benchmark=benchmark,
+        filter_width=filter_width,
+        slowdown=result.cycles / baseline_cycles,
+        filter_full=result.filter_full_cycles / high_cycles,
+        mapper_blocked=result.mapper_blocked_cycles / high_cycles,
+        cdc_full=result.cdc_full_cycles / low_cycles,
+        msgq_full=result.msgq_full_cycles / (low_cycles * num_engines),
+    )

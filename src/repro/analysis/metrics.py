@@ -1,0 +1,64 @@
+"""Slowdown bookkeeping for the Fig 7/9/10/11 experiment tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.utils.stats import geomean
+
+
+@dataclass
+class SlowdownTable:
+    """Rows: benchmarks; columns: schemes.  Mirrors the paper's
+    grouped-bar figures, with a geomean column appended."""
+
+    benchmarks: list[str]
+    schemes: list[str] = field(default_factory=list)
+    _cells: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def record(self, benchmark: str, scheme: str, slowdown: float) -> None:
+        if benchmark not in self.benchmarks:
+            raise ReproError(f"unknown benchmark {benchmark!r}")
+        if slowdown <= 0:
+            raise ReproError(
+                f"slowdown must be positive, got {slowdown} for "
+                f"{benchmark}/{scheme}")
+        if scheme not in self.schemes:
+            self.schemes.append(scheme)
+        self._cells[(benchmark, scheme)] = slowdown
+
+    def get(self, benchmark: str, scheme: str) -> float:
+        key = (benchmark, scheme)
+        if key not in self._cells:
+            raise ReproError(f"no cell for {benchmark}/{scheme}")
+        return self._cells[key]
+
+    def has(self, benchmark: str, scheme: str) -> bool:
+        return (benchmark, scheme) in self._cells
+
+    def scheme_geomean(self, scheme: str) -> float:
+        values = [self._cells[(b, scheme)] for b in self.benchmarks
+                  if (b, scheme) in self._cells]
+        return geomean(values)
+
+    def rows(self) -> list[list[str]]:
+        """Render-ready rows including a geomean footer."""
+        header = ["benchmark"] + list(self.schemes)
+        out = [header]
+        for bench in self.benchmarks:
+            row = [bench]
+            for scheme in self.schemes:
+                if (bench, scheme) in self._cells:
+                    row.append(f"{self._cells[(bench, scheme)]:.3f}")
+                else:
+                    row.append("-")
+            out.append(row)
+        footer = ["geomean"]
+        for scheme in self.schemes:
+            try:
+                footer.append(f"{self.scheme_geomean(scheme):.3f}")
+            except ReproError:
+                footer.append("-")
+        out.append(footer)
+        return out

@@ -1,0 +1,25 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Align rows into a monospace table (first row is the header)."""
+    if not rows:
+        return title
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rows
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths[:len(header)]))
+    for row in body:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)

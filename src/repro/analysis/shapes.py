@@ -1,0 +1,112 @@
+"""Shape validation: the paper's qualitative claims as checkable
+predicates.
+
+Absolute numbers cannot transfer from the authors' FPGA prototype to a
+Python model, but the claims the paper's conclusions rest on are
+*ordinal* — who wins, what scales, what dominates.  This module turns
+each claim into a predicate over measured results, so benchmarks and
+tests assert reproduction explicitly, and a human reading a report can
+see exactly which claims held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import SlowdownTable
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verified (or failed) qualitative claim."""
+
+    claim: str
+    holds: bool
+    detail: str = ""
+
+    def as_row(self) -> list[str]:
+        return [self.claim, "yes" if self.holds else "NO", self.detail]
+
+
+def check_ha_removes_overhead(table: SlowdownTable,
+                              ha_scheme: str,
+                              tolerance: float = 1.02) -> ShapeCheck:
+    """§IV-A: hardware accelerators reduce PMC/SS overhead to ~0."""
+    worst = max(table.get(b, ha_scheme) for b in table.benchmarks
+                if table.has(b, ha_scheme))
+    return ShapeCheck(
+        claim=f"HA overhead ~0 ({ha_scheme})",
+        holds=worst <= tolerance,
+        detail=f"worst {worst:.3f}")
+
+
+def check_fireguard_beats_software(table: SlowdownTable, fg_scheme: str,
+                                   sw_scheme: str) -> ShapeCheck:
+    """§IV-A: FireGuard consistently outperforms software schemes."""
+    losses = [b for b in table.benchmarks
+              if table.has(b, fg_scheme) and table.has(b, sw_scheme)
+              and table.get(b, fg_scheme) > table.get(b, sw_scheme)]
+    return ShapeCheck(
+        claim=f"{fg_scheme} beats {sw_scheme}",
+        holds=len(losses) <= 1,  # the paper itself notes one exception
+        detail=f"losses: {losses or 'none'}")
+
+
+def check_scaling_monotone(table: SlowdownTable,
+                           tolerance: float = 0.03) -> ShapeCheck:
+    """§IV-D: more µcores never hurt (geomean, within noise)."""
+    geomeans = [table.scheme_geomean(s) for s in table.schemes]
+    holds = all(b <= a + tolerance
+                for a, b in zip(geomeans, geomeans[1:]))
+    return ShapeCheck(
+        claim="slowdown monotone non-increasing with ucores",
+        holds=holds,
+        detail=" -> ".join(f"{g:.3f}" for g in geomeans))
+
+
+def check_combination_not_multiplicative(
+        combo: float, parts: list[float],
+        slack: float = 1.10) -> ShapeCheck:
+    """§IV-A: combined kernels cost ~max of parts, not their product."""
+    if not parts:
+        raise ReproError("need component slowdowns")
+    product = 1.0
+    for p in parts:
+        product *= p
+    holds = combo <= max(max(parts) * slack, 1.0 + (product - 1.0) * 0.9)
+    return ShapeCheck(
+        claim="combination dominated by heaviest kernel",
+        holds=holds,
+        detail=f"combo {combo:.3f} vs max {max(parts):.3f} "
+               f"product {product:.3f}")
+
+
+def check_strategy_ordering(conventional: float, duff: float,
+                            unrolled: float, hybrid: float,
+                            tolerance: float = 0.01) -> ShapeCheck:
+    """§IV-E: conventional worst; hazard-aware strategies win."""
+    best_aware = min(duff, unrolled, hybrid)
+    holds = (conventional + tolerance >= duff
+             and conventional + tolerance >= best_aware)
+    return ShapeCheck(
+        claim="conventional loop worst; hybrid/unrolled best",
+        holds=holds,
+        detail=f"conv {conventional:.3f} duff {duff:.3f} "
+               f"unroll {unrolled:.3f} hybrid {hybrid:.3f}")
+
+
+def check_latency_ordering(pmc_median: float, asan_median: float,
+                           asan_max: float) -> ShapeCheck:
+    """§IV-B: PMC fastest; ASan has the long tail."""
+    holds = pmc_median <= asan_median and asan_max > asan_median * 2
+    return ShapeCheck(
+        claim="PMC fastest detector; ASan long-tailed",
+        holds=holds,
+        detail=f"pmc_med {pmc_median:.0f}ns asan_med {asan_median:.0f}ns "
+               f"asan_max {asan_max:.0f}ns")
+
+
+def summarize(checks: list[ShapeCheck]) -> tuple[int, int]:
+    """(held, total)."""
+    return sum(c.holds for c in checks), len(checks)

@@ -1,0 +1,67 @@
+"""Plot-free figure rendering: ASCII bar charts and series.
+
+The experiment CLIs print the paper's figures as text so results are
+inspectable in any terminal or CI log (no matplotlib dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+_BAR = "#"
+
+
+def bar_chart(values: Mapping[str, float], title: str = "",
+              width: int = 48, baseline: float = 1.0) -> str:
+    """Horizontal bars, scaled to the maximum value.
+
+    With ``baseline`` set (default 1.0 — no slowdown), the bar renders
+    the excess over the baseline so small overheads stay visible.
+    """
+    if not values:
+        raise ReproError("bar_chart needs at least one value")
+    top = max(values.values())
+    span = max(top - baseline, 1e-9)
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        filled = int(round((value - baseline) / span * width))
+        filled = max(0, min(width, filled))
+        lines.append(f"{key.ljust(label_w)}  {value:7.3f} "
+                     f"|{_BAR * filled}{' ' * (width - filled)}|")
+    return "\n".join(lines)
+
+
+def series_chart(xs: Sequence[float], series: Mapping[str, Sequence[float]],
+                 title: str = "", height: int = 12,
+                 width: int = 60) -> str:
+    """Plot one or more y-series against shared x values as an ASCII
+    scatter (each series gets a distinct glyph)."""
+    if not series:
+        raise ReproError("series_chart needs at least one series")
+    glyphs = "*+ox@%&="
+    all_y = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    span = max(hi - lo, 1e-9)
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = max(x_hi - x_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), glyph in zip(series.items(), glyphs):
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - lo) / span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_val = hi - (i / max(1, height - 1)) * span
+        lines.append(f"{y_val:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}")
+    legend = "  ".join(f"{glyph}={name}" for (name, _), glyph
+                       in zip(series.items(), glyphs))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Software baselines (Fig 7(a)'s comparison points).
+
+The paper compares FireGuard against LLVM-instrumented software
+schemes: a shadow stack (AArch64), AddressSanitizer (AArch64 and
+x86-64 expansion factors), and DangSan for use-after-free.  Software
+instrumentation *is* inline instruction expansion plus extra memory
+traffic, so the baselines are trace transformers: they splice each
+scheme's check sequence into the workload trace and run it on the
+same unmonitored core.
+"""
+
+from repro.baselines.instrument import (
+    SCHEMES,
+    InstrumentationScheme,
+    instrument_trace,
+    software_slowdown,
+)
+
+__all__ = [
+    "SCHEMES",
+    "InstrumentationScheme",
+    "instrument_trace",
+    "software_slowdown",
+]

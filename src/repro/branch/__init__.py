@@ -1,0 +1,15 @@
+"""Branch prediction substrate: TAGE, BTB, RAS (Table II front end)."""
+
+from repro.branch.btb import Btb
+from repro.branch.predictor import FrontEndPredictor, PredictorParams
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TageParams, TagePredictor
+
+__all__ = [
+    "Btb",
+    "FrontEndPredictor",
+    "PredictorParams",
+    "ReturnAddressStack",
+    "TageParams",
+    "TagePredictor",
+]

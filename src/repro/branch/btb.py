@@ -1,0 +1,36 @@
+"""Branch target buffer (Table II: 256 entries)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Btb:
+    """Direct-mapped BTB mapping branch PC → predicted target."""
+
+    def __init__(self, entries: int = 256):
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError("BTB entries must be a positive power of two")
+        self._entries = entries
+        self._mask = entries - 1
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+        self.stat_hits = 0
+        self.stat_misses = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for an indirect jump at ``pc``, or None."""
+        idx = self._index(pc)
+        if self._tags[idx] == pc:
+            self.stat_hits += 1
+            return self._targets[idx]
+        self.stat_misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = self._index(pc)
+        self._tags[idx] = pc
+        self._targets[idx] = target

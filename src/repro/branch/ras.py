@@ -1,0 +1,34 @@
+"""Return address stack (Table II: 32 entries)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ReturnAddressStack:
+    """Circular RAS: overflow overwrites the oldest entry, as in BOOM."""
+
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ConfigError("RAS needs at least one entry")
+        self._entries = entries
+        self._stack: list[int] = []
+        self.stat_overflows = 0
+        self.stat_underflows = 0
+
+    def push(self, return_addr: int) -> None:
+        if len(self._stack) == self._entries:
+            self._stack.pop(0)
+            self.stat_overflows += 1
+        self._stack.append(return_addr)
+
+    def pop(self) -> int | None:
+        """Predicted return target, or None when the stack is empty."""
+        if not self._stack:
+            self.stat_underflows += 1
+            return None
+        return self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,179 @@
+"""TAGE conditional branch predictor.
+
+Table II: "TAGE algorithm ... 6 TAGE tables with 2–64 bits history".
+This is a standard TAGE: a bimodal base predictor plus N partially
+tagged tables indexed by folded global history of geometrically
+increasing length; prediction comes from the longest matching table,
+with useful-counter-guided allocation on mispredictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+def _geometric_lengths(count: int, lo: int, hi: int) -> tuple[int, ...]:
+    """Geometrically spaced history lengths from lo to hi inclusive."""
+    if count < 2:
+        raise ConfigError("TAGE needs at least two tagged tables")
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    lengths = []
+    for i in range(count):
+        length = int(round(lo * ratio**i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return tuple(lengths)
+
+
+@dataclass(frozen=True)
+class TageParams:
+    num_tables: int = 6
+    min_history: int = 2
+    max_history: int = 64
+    table_bits: int = 9          # 512 entries per tagged table
+    tag_bits: int = 9
+    base_bits: int = 12          # 4096-entry bimodal base
+    history_lengths: tuple[int, ...] = field(default_factory=tuple)
+
+    def lengths(self) -> tuple[int, ...]:
+        if self.history_lengths:
+            return self.history_lengths
+        return _geometric_lengths(
+            self.num_tables, self.min_history, self.max_history)
+
+
+class _TageEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.ctr = 0     # 3-bit signed counter in [-4, 3]; >= 0 = taken
+        self.useful = 0  # 2-bit useful counter
+
+
+class TagePredictor:
+    """TAGE with per-table folded-history indexing."""
+
+    def __init__(self, params: TageParams | None = None):
+        self.params = params or TageParams()
+        self._lengths = self.params.lengths()
+        size = 1 << self.params.table_bits
+        self._tables = [
+            [_TageEntry() for _ in range(size)]
+            for _ in range(len(self._lengths))
+        ]
+        self._base = [1] * (1 << self.params.base_bits)  # 2-bit, 1 = weak NT
+        self._history = 0  # global history as an int, newest bit at LSB
+        self._alloc_tick = 0
+        self.stat_lookups = 0
+        self.stat_mispredicts = 0
+
+    # -- indexing ----------------------------------------------------------
+    def _fold(self, history: int, length: int, bits: int) -> int:
+        """Fold the low ``length`` history bits into ``bits`` bits."""
+        h = history & ((1 << length) - 1)
+        folded = 0
+        while h:
+            folded ^= h & ((1 << bits) - 1)
+            h >>= bits
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        bits = self.params.table_bits
+        folded = self._fold(self._history, self._lengths[table], bits)
+        return ((pc >> 2) ^ folded ^ (table * 0x9E37)) & ((1 << bits) - 1)
+
+    def _tag(self, pc: int, table: int) -> int:
+        bits = self.params.tag_bits
+        folded = self._fold(self._history, self._lengths[table], bits - 1)
+        return ((pc >> 2) ^ (folded << 1) ^ table) & ((1 << bits) - 1)
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 2) & ((1 << self.params.base_bits) - 1)
+
+    # -- prediction --------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        self.stat_lookups += 1
+        provider, _ = self._find_provider(pc)
+        if provider is not None:
+            table, idx = provider
+            return self._tables[table][idx].ctr >= 0
+        return self._base[self._base_index(pc)] >= 2
+
+    def _find_provider(self, pc: int):
+        """Longest matching tagged table, plus any alternate match."""
+        provider = None
+        alt = None
+        for table in range(len(self._lengths) - 1, -1, -1):
+            idx = self._index(pc, table)
+            if self._tables[table][idx].tag == self._tag(pc, table):
+                if provider is None:
+                    provider = (table, idx)
+                else:
+                    alt = (table, idx)
+                    break
+        return provider, alt
+
+    # -- update ------------------------------------------------------------
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome and shift global history."""
+        provider, _ = self._find_provider(pc)
+        predicted = self.predict_quietly(pc, provider)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.stat_mispredicts += 1
+
+        if provider is not None:
+            table, idx = provider
+            entry = self._tables[table][idx]
+            entry.ctr = self._update_ctr(entry.ctr, taken, -4, 3)
+            if not mispredicted:
+                entry.useful = min(entry.useful + 1, 3)
+        else:
+            bidx = self._base_index(pc)
+            ctr = self._base[bidx]
+            self._base[bidx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+
+        if mispredicted:
+            self._allocate(pc, taken, provider)
+
+        self._history = ((self._history << 1) | (1 if taken else 0)) \
+            & ((1 << self.params.max_history) - 1)
+
+    def predict_quietly(self, pc: int, provider) -> bool:
+        if provider is not None:
+            table, idx = provider
+            return self._tables[table][idx].ctr >= 0
+        return self._base[self._base_index(pc)] >= 2
+
+    @staticmethod
+    def _update_ctr(ctr: int, taken: bool, lo: int, hi: int) -> int:
+        return min(ctr + 1, hi) if taken else max(ctr - 1, lo)
+
+    def _allocate(self, pc: int, taken: bool, provider) -> None:
+        """Allocate an entry in a longer-history table on mispredict."""
+        start = provider[0] + 1 if provider is not None else 0
+        for table in range(start, len(self._lengths)):
+            idx = self._index(pc, table)
+            entry = self._tables[table][idx]
+            if entry.useful == 0:
+                entry.tag = self._tag(pc, table)
+                entry.ctr = 0 if taken else -1
+                return
+        # No free entry: age useful counters (periodic decay).
+        self._alloc_tick += 1
+        if self._alloc_tick & 0xFF == 0:
+            for table in range(start, len(self._lengths)):
+                for entry in self._tables[table]:
+                    if entry.useful:
+                        entry.useful -= 1
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.stat_lookups:
+            return 0.0
+        return self.stat_mispredicts / self.stat_lookups

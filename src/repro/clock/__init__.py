@@ -1,0 +1,6 @@
+"""Clock domains (§III footnote 2: high-frequency core domain,
+low-frequency fabric/µcore domain, handshake CDC between them)."""
+
+from repro.clock.domain import ClockDomain, DualDomainClock
+
+__all__ = ["ClockDomain", "DualDomainClock"]

@@ -1,0 +1,73 @@
+"""FireGuard proper: the paper's contribution (Fig 1).
+
+* data-forwarding channel (§III-A): buffer-free bypass taps at commit;
+* event filter (§III-B): per-lane SRAM mini-filters, paired FIFOs, an
+  in-order arbiter;
+* mapper (§III-C): scalable allocator (distributor + Scheduling
+  Engines) and distributed fabric (multicast channel + mesh NoC);
+* ISA & programming model (§III-D): message queues with
+  count/top/pop/recent/push custom instructions, coupled into the
+  µcore's MA stage;
+* hardware accelerators and the assembled system.
+"""
+
+from repro.core.accelerator import (
+    HardwareAccelerator,
+    PmcAccelerator,
+    ShadowStackAccelerator,
+)
+from repro.core.allocator import Allocator, Distributor
+from repro.core.cdc import CdcFifo
+from repro.core.config import DP_FTQ, DP_LSQ, DP_PRF, FireGuardConfig
+from repro.core.event_filter import EventFilter
+from repro.core.fabric import MulticastChannel
+from repro.core.forwarding import DataForwardingChannel
+from repro.core.isax import IsaxInterface, IsaxStyle
+from repro.core.minifilter import FilterEntry, MiniFilter
+from repro.core.msgqueue import MessageQueue, QueueController
+from repro.core.noc import MeshNoc
+from repro.core.packet import (
+    META_ALLOC,
+    META_CALL,
+    META_FREE,
+    META_LOAD,
+    META_RET,
+    META_STORE,
+    Packet,
+)
+from repro.core.scheduling import SchedulingEngine, SchedulingPolicy
+from repro.core.system import FireGuardSystem, SystemResult
+
+__all__ = [
+    "Allocator",
+    "CdcFifo",
+    "DP_FTQ",
+    "DP_LSQ",
+    "DP_PRF",
+    "DataForwardingChannel",
+    "Distributor",
+    "EventFilter",
+    "FilterEntry",
+    "FireGuardConfig",
+    "FireGuardSystem",
+    "HardwareAccelerator",
+    "IsaxInterface",
+    "IsaxStyle",
+    "MeshNoc",
+    "MessageQueue",
+    "META_ALLOC",
+    "META_CALL",
+    "META_FREE",
+    "META_LOAD",
+    "META_RET",
+    "META_STORE",
+    "MiniFilter",
+    "MulticastChannel",
+    "Packet",
+    "PmcAccelerator",
+    "QueueController",
+    "SchedulingEngine",
+    "SchedulingPolicy",
+    "ShadowStackAccelerator",
+    "SystemResult",
+]

@@ -1,0 +1,123 @@
+"""Hardware accelerators (§IV-A).
+
+The paper shows that replacing the µcores with a single fixed-function
+accelerator removes PMC and shadow-stack overhead entirely: an HA
+consumes one packet per fabric cycle with a short pipeline, so it never
+back-pressures the mapper.  These models implement the same checking
+semantics as the corresponding guardian kernels, directly in Python
+("hardwired" logic rather than a program on a µcore).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.msgqueue import MessageQueue
+from repro.core.packet import (
+    META_CALL,
+    META_RET,
+    OFF_ADDR,
+    OFF_DATA,
+    Packet,
+)
+
+AlertCallback = Callable[[int, Packet, int], None]
+"""(engine_id, packet, low_cycle) — invoked on each detection."""
+
+
+class HardwareAccelerator:
+    """Base: drains its message queue at the fabric's line rate.
+
+    The fixed-function pipeline accepts several packets per fabric
+    cycle (``throughput``, default sized to the core's commit width at
+    the 2:1 clock ratio), which is what lets an HA remove PMC and
+    shadow-stack overhead entirely (§IV-A).
+    """
+
+    name = "ha"
+
+    def __init__(self, engine_id: int, queue: MessageQueue,
+                 on_alert: AlertCallback, throughput: int = 8):
+        self.engine_id = engine_id
+        self.queue = queue
+        self.on_alert = on_alert
+        self.throughput = throughput
+        self.stat_packets = 0
+        self.stat_alerts = 0
+
+    def tick(self, low_cycle: int) -> None:
+        for _ in range(self.throughput):
+            if self.queue.empty:
+                return
+            self.queue.pop(0)
+            packet = self.queue.recent_packet
+            self.stat_packets += 1
+            if self.check(packet, low_cycle):
+                self.stat_alerts += 1
+                self.on_alert(self.engine_id, packet, low_cycle)
+
+    def check(self, packet: Packet, low_cycle: int) -> bool:
+        """Return True when the packet violates the property."""
+        raise NotImplementedError
+
+    @property
+    def idle(self) -> bool:
+        return self.queue.empty
+
+    def idle_at(self, _low_cycle: int) -> bool:
+        """Uniform drain-check interface with :class:`MicroCore`."""
+        return self.queue.empty
+
+
+class PmcAccelerator(HardwareAccelerator):
+    """Custom performance counter with bounds check, in hardware.
+
+    Counts monitored events per class and flags any memory access
+    outside the configured fence registers — the same semantics as the
+    PMC guardian kernel.
+    """
+
+    name = "pmc_ha"
+
+    def __init__(self, engine_id: int, queue: MessageQueue,
+                 on_alert: AlertCallback, bound_lo: int, bound_hi: int):
+        super().__init__(engine_id, queue, on_alert)
+        self.bound_lo = bound_lo
+        self.bound_hi = bound_hi
+        self.event_count = 0
+
+    def check(self, packet: Packet, low_cycle: int) -> bool:
+        self.event_count += 1
+        addr = packet.word(OFF_ADDR)
+        return not self.bound_lo <= addr < self.bound_hi
+
+
+class ShadowStackAccelerator(HardwareAccelerator):
+    """Shadow stack in dedicated hardware: a private LIFO of return
+    addresses, pushed on calls and checked on returns."""
+
+    name = "shadow_ha"
+
+    def __init__(self, engine_id: int, queue: MessageQueue,
+                 on_alert: AlertCallback, max_depth: int = 1024):
+        super().__init__(engine_id, queue, on_alert)
+        self._stack: list[int] = []
+        self._max_depth = max_depth
+        self.stat_overflows = 0
+
+    def check(self, packet: Packet, low_cycle: int) -> bool:
+        meta = packet.meta
+        if meta & META_CALL:
+            if len(self._stack) >= self._max_depth:
+                self._stack.pop(0)
+                self.stat_overflows += 1
+            # Debug data carries the return address (PC + 4).
+            self._stack.append(packet.word(OFF_DATA))
+            return False
+        if meta & META_RET:
+            target = packet.word(OFF_ADDR)
+            if not self._stack:
+                return True  # return with empty shadow stack
+            expected = self._stack.pop()
+            return target != expected
+        return False

@@ -1,0 +1,67 @@
+"""Clock-domain-crossing FIFO (§III footnote 2; Table II: 8-entry CDC).
+
+The allocator (high-frequency domain) pushes (packet, multicast-mask)
+pairs; the fabric (low-frequency domain) pops them.  Handshake CDCs
+add a fixed synchroniser delay on top of queue occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.packet import Packet
+from repro.errors import ConfigError
+
+
+class CdcFifo:
+    """Dual-clock FIFO with occupancy-based back-pressure."""
+
+    def __init__(self, depth: int, sync_delay_low_cycles: int = 1):
+        if depth <= 0:
+            raise ConfigError("CDC depth must be positive")
+        if sync_delay_low_cycles < 0:
+            raise ConfigError("CDC sync delay cannot be negative")
+        self.depth = depth
+        self.sync_delay = sync_delay_low_cycles
+        self._entries: deque[tuple[Packet, int, int]] = deque()
+        self.stat_pushes = 0
+        self.stat_full_cycles = 0
+        self.stat_peak = 0
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, packet: Packet, mask: int, low_cycle: int) -> bool:
+        """High-domain side: enqueue, or report full."""
+        if self.full:
+            return False
+        # Entry becomes visible to the low domain after the
+        # synchroniser delay.
+        self._entries.append((packet, mask, low_cycle + self.sync_delay))
+        self.stat_pushes += 1
+        if len(self._entries) > self.stat_peak:
+            self.stat_peak = len(self._entries)
+        return True
+
+    def pop(self, low_cycle: int) -> tuple[Packet, int] | None:
+        """Low-domain side: dequeue the head if it has synchronised."""
+        if not self._entries:
+            return None
+        packet, mask, visible_at = self._entries[0]
+        if low_cycle < visible_at:
+            return None
+        self._entries.popleft()
+        return packet, mask
+
+    def note_cycle(self, _low_cycle: int) -> None:
+        """Book-keeping hook: called once per low cycle for stats."""
+        if self.full:
+            self.stat_full_cycles += 1

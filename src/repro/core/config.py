@@ -1,0 +1,100 @@
+"""FireGuard configuration (Table II, "FireGuard and Interconnects")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock.domain import ClockDomain
+from repro.errors import ConfigError
+
+# Data-path selection flags stored in each mini-filter SRAM entry: which
+# bypass circuits the forwarding channel should read for this
+# instruction group (Fig 3: "PRF, LSQ and/or FTQ").
+DP_PRF = 0x1
+DP_LSQ = 0x2
+DP_FTQ = 0x4
+
+
+@dataclass(frozen=True)
+class FireGuardConfig:
+    """Microarchitectural parameters of the FireGuard elements.
+
+    Defaults mirror Table II: a 4-width event filter with 16-entry
+    FIFOs, 4 Scheduling Engines, an 8-entry CDC, the fabric at 1.6 GHz,
+    Rocket µcores at 1.6 GHz with 32-entry message queues.
+    """
+
+    filter_width: int = 4
+    fifo_depth: int = 16
+    num_sched_engines: int = 4
+    cdc_depth: int = 8
+    # Packets the mapper moves per cycle.  The paper's design is
+    # deliberately scalar (1; <0.5 % slowdown on a 4-wide BOOM);
+    # §III-C footnote 5 sketches a superscalar variant with duplicated
+    # channels/SEs and extra arbiters — set 2+ to model it.
+    mapper_width: int = 1
+    num_engines: int = 4            # µcores (Fig 10 sweeps this)
+    msgq_depth: int = 32
+    peer_queue_depth: int = 32      # NoC receive queue per engine
+    max_gids: int = 16
+    high_freq_ghz: float = 3.2
+    low_freq_ghz: float = 1.6
+    noc_hop_cycles: int = 1
+    # µcore memory (Table II: 4 KB 2-way L1s; shared L2 beyond).
+    ucore_l1_kb: int = 4
+    ucore_l1_ways: int = 2
+    ucore_l2_latency: int = 10      # low-domain cycles on L1 miss
+    ucore_llc_latency: int = 24
+    ucore_dram_latency: int = 96
+    ucore_tlb_entries: int = 16
+    ucore_tlb_walk: int = 30
+
+    def __post_init__(self) -> None:
+        if self.filter_width <= 0:
+            raise ConfigError("filter width must be positive")
+        if self.mapper_width <= 0:
+            raise ConfigError("mapper width must be positive")
+        if self.fifo_depth <= 0 or self.cdc_depth <= 0:
+            raise ConfigError("queue depths must be positive")
+        if self.num_sched_engines <= 0:
+            raise ConfigError("need at least one Scheduling Engine")
+        if self.num_engines <= 0:
+            raise ConfigError("need at least one analysis engine")
+        if self.max_gids <= 0 or self.max_gids > 256:
+            raise ConfigError("max_gids must be in [1, 256]")
+        if self.low_freq_ghz > self.high_freq_ghz:
+            raise ConfigError("low-frequency domain faster than high")
+
+    def high_domain(self) -> ClockDomain:
+        return ClockDomain("core", self.high_freq_ghz)
+
+    def low_domain(self) -> ClockDomain:
+        return ClockDomain("fabric", self.low_freq_ghz)
+
+    def mesh_shape(self) -> tuple[int, int]:
+        """Smallest near-square mesh holding all engines (Manhattan
+        grid NoC, §III-C)."""
+        cols = 1
+        while cols * cols < self.num_engines:
+            cols += 1
+        rows = (self.num_engines + cols - 1) // cols
+        return rows, cols
+
+
+@dataclass(frozen=True)
+class KernelBinding:
+    """How one guardian kernel plugs into the mapper: the GIDs it
+    consumes, its Scheduling Engine, and which analysis engines run it."""
+
+    kernel_name: str
+    gids: tuple[int, ...]
+    se_index: int
+    engine_indices: tuple[int, ...]
+    policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if not self.gids:
+            raise ConfigError(f"kernel {self.kernel_name}: no GIDs bound")
+        if not self.engine_indices:
+            raise ConfigError(
+                f"kernel {self.kernel_name}: no analysis engines bound")

@@ -1,0 +1,90 @@
+"""Multicast channel (§III-C): the fabric's half-duplex 1-to-N path.
+
+Multiplexers steer each packet from the CDC to every message queue
+whose bit is set in the allocator's decision mask.  A multicast
+completes atomically: if any target queue is full the packet waits,
+back-pressuring the CDC and, transitively, commit — the queue-full
+time Fig 9 attributes to the mapper/CDC.
+"""
+
+from __future__ import annotations
+
+from repro.core.msgqueue import MessageQueue
+from repro.core.packet import Packet
+from repro.errors import ConfigError
+
+
+class MulticastChannel:
+    """Selective broadcast from the filter to the analysis engines.
+
+    ``width`` channels may be in flight at once (the superscalar-mapper
+    variant of §III-C footnote 5); each message queue still accepts at
+    most one packet per cycle, so two in-flight multicasts aimed at the
+    same engine serialise through the extra arbiter.
+    """
+
+    def __init__(self, queues: list[MessageQueue], width: int = 1,
+                 queue_ports: int = 1):
+        if not queues:
+            raise ConfigError("multicast channel needs target queues")
+        if width <= 0:
+            raise ConfigError("multicast width must be positive")
+        if queue_ports <= 0:
+            raise ConfigError("queues need at least one write port")
+        self.queues = queues
+        self.width = width
+        self.queue_ports = queue_ports
+        self._pending: list[tuple[Packet, int]] = []
+        self.stat_delivered = 0
+        self.stat_blocked_cycles = 0
+        self.stat_port_conflicts = 0
+
+    @property
+    def busy(self) -> bool:
+        """True when no further packet can be accepted this cycle."""
+        return len(self._pending) >= self.width
+
+    @property
+    def draining(self) -> bool:
+        return bool(self._pending)
+
+    def submit(self, packet: Packet, mask: int) -> bool:
+        """Accept a packet for delivery; False when channels are full."""
+        if self.busy:
+            return False
+        self._pending.append((packet, mask))
+        return True
+
+    def step(self, _low_cycle: int) -> Packet | None:
+        """Attempt pending multicasts in order; returns the first
+        packet fully delivered this cycle (None if all blocked)."""
+        if not self._pending:
+            return None
+        delivered_first: Packet | None = None
+        port_use: dict[int, int] = {}
+        remaining: list[tuple[Packet, int]] = []
+        blocked = False
+        for packet, mask in self._pending:
+            targets = [i for i in range(len(self.queues))
+                       if mask >> i & 1]
+            conflict = any(port_use.get(i, 0) >= self.queue_ports
+                           for i in targets)
+            if conflict:
+                self.stat_port_conflicts += 1
+            if blocked or conflict \
+                    or any(self.queues[i].full for i in targets):
+                # In-order delivery: a blocked multicast blocks the
+                # ones behind it (they share the allocator's ordering).
+                remaining.append((packet, mask))
+                blocked = True
+                continue
+            for i in targets:
+                self.queues[i].push(packet)
+                port_use[i] = port_use.get(i, 0) + 1
+            self.stat_delivered += 1
+            if delivered_first is None:
+                delivered_first = packet
+        if blocked and delivered_first is None:
+            self.stat_blocked_cycles += 1
+        self._pending = remaining
+        return delivered_first

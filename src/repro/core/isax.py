@@ -1,0 +1,68 @@
+"""ISAX interface cost models (§III-D, Fig 6(a)).
+
+Rocket's stock ISAX runs custom instructions *post-commit*: routing to
+the peripheral blocks the core for at least 3 cycles per instruction,
+stretching to ~13 under data hazards and contention.  FireGuard moves
+the interface into the Memory Access (MA) stage, multiplexed with the
+load-store unit: the queue op then behaves like a load — single-cycle
+occupancy, one bubble only when the very next instruction consumes its
+result.
+
+The µcore pipeline asks this model how many cycles a queue instruction
+costs given whether its result is consumed immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class IsaxStyle(Enum):
+    """Which coupling the µcore uses."""
+
+    POST_COMMIT = "post_commit"   # Rocket stock (baseline, §III-D)
+    MA_STAGE = "ma_stage"         # FireGuard's redesign
+
+
+@dataclass(frozen=True)
+class IsaxCosts:
+    """Cycle costs of one queue instruction."""
+
+    base: int                 # pipeline occupancy of the op itself
+    hazard_bubbles: int       # extra cycles if the next instr uses rd
+    contention_extra: int     # extra when back-to-back ISAX ops overlap
+
+
+class IsaxInterface:
+    """Cost model for queue custom instructions."""
+
+    _COSTS = {
+        IsaxStyle.POST_COMMIT: IsaxCosts(base=3, hazard_bubbles=6,
+                                         contention_extra=4),
+        IsaxStyle.MA_STAGE: IsaxCosts(base=1, hazard_bubbles=1,
+                                      contention_extra=0),
+    }
+
+    def __init__(self, style: IsaxStyle = IsaxStyle.MA_STAGE):
+        if style not in self._COSTS:
+            raise ConfigError(f"unknown ISAX style {style}")
+        self.style = style
+        self.costs = self._COSTS[style]
+        self.stat_ops = 0
+        self.stat_hazard_cycles = 0
+        self.stat_contention_cycles = 0
+
+    def cost(self, result_used_next: bool, back_to_back: bool) -> int:
+        """Cycles consumed by one queue instruction."""
+        self.stat_ops += 1
+        cycles = self.costs.base
+        if result_used_next:
+            cycles += self.costs.hazard_bubbles
+            self.stat_hazard_cycles += self.costs.hazard_bubbles
+        if back_to_back:
+            cycles += self.costs.contention_extra
+            self.stat_contention_cycles += self.costs.contention_extra
+        return cycles

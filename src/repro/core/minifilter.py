@@ -1,0 +1,74 @@
+"""Mini-filter: the SRAM look-up table behind each commit lane (Fig 3).
+
+The 10-bit read address is ``funct3:opcode`` of the committing
+instruction; the entry holds the mapper GID and the data-path selection
+(which bypass circuits to read: PRF / LSQ / FTQ).  An unprogrammed
+entry means the instruction is irrelevant to every running kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DP_FTQ, DP_LSQ, DP_PRF
+from repro.errors import ConfigError
+from repro.isa.filter_index import FILTER_TABLE_SIZE, filter_index
+
+
+@dataclass(frozen=True)
+class FilterEntry:
+    """One programmed SRAM entry."""
+
+    gid: int
+    dp_sel: int  # OR of DP_PRF / DP_LSQ / DP_FTQ
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gid <= 0xFF:
+            raise ConfigError(f"GID {self.gid} outside 8 bits")
+        if self.dp_sel & ~(DP_PRF | DP_LSQ | DP_FTQ):
+            raise ConfigError(f"bad dp_sel {self.dp_sel:#x}")
+
+
+class MiniFilter:
+    """One SRAM mini-filter; the event filter deploys one per lane.
+
+    All lanes share programming in practice (the config path writes
+    every mini-filter identically) — modelled by sharing one table
+    between `MiniFilter` instances created with the same ``table``.
+    """
+
+    def __init__(self, table: list[FilterEntry | None] | None = None):
+        if table is None:
+            table = [None] * FILTER_TABLE_SIZE
+        if len(table) != FILTER_TABLE_SIZE:
+            raise ConfigError(
+                f"filter table must have {FILTER_TABLE_SIZE} entries")
+        self.table = table
+        self.stat_lookups = 0
+        self.stat_matches = 0
+
+    def program(self, opcode: int, funct3: int, entry: FilterEntry) -> None:
+        """Write one SRAM entry via the config path."""
+        self.table[filter_index(opcode, funct3)] = entry
+
+    def program_all_funct3(self, opcode: int, entry: FilterEntry) -> None:
+        """Program every funct3 row of an opcode.
+
+        Needed for jal/jalr-style opcodes whose bits [14:12] are
+        immediate bits, not a function code: any value can appear on
+        the SRAM address lines, so all eight rows must match.
+        """
+        for funct3 in range(8):
+            self.program(opcode, funct3, entry)
+
+    def clear(self) -> None:
+        for i in range(FILTER_TABLE_SIZE):
+            self.table[i] = None
+
+    def lookup(self, opcode: int, funct3: int) -> FilterEntry | None:
+        """One SRAM read: returns the entry, or None if unprogrammed."""
+        self.stat_lookups += 1
+        entry = self.table[filter_index(opcode, funct3)]
+        if entry is not None:
+            self.stat_matches += 1
+        return entry

@@ -1,0 +1,184 @@
+"""Message queues and their controller (§III-D, Fig 6(b), Table I).
+
+Each analysis engine owns an input queue (packets from the multicast
+channel), a peer queue (words from the routing NoC), and an output
+queue (words the kernel pushes for transmission).  The queue
+controller exposes the state the ISAX instructions read: count, head
+fields, most-recently-popped element, plus status registers reachable
+through the APB bridge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.packet import Packet
+from repro.errors import ConfigError, QueueError
+
+
+class MessageQueue:
+    """Bounded FIFO of packets (input queue) with `recent` tracking."""
+
+    # Recently popped packets kept for alert attribution: unrolled
+    # kernels pop several packets before checking them, so the engine
+    # may alert a few pops after the offending packet left the queue.
+    ATTRIBUTION_WINDOW = 8
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ConfigError("message queue depth must be positive")
+        self.depth = depth
+        self._entries: deque[Packet] = deque()
+        self._recent: Packet | None = None
+        self._popped: deque[Packet] = deque(maxlen=self.ATTRIBUTION_WINDOW)
+        self.stat_pushes = 0
+        self.stat_pops = 0
+        self.stat_full_cycles = 0
+        self.stat_peak = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, packet: Packet) -> bool:
+        if self.full:
+            return False
+        self._entries.append(packet)
+        self.stat_pushes += 1
+        if len(self._entries) > self.stat_peak:
+            self.stat_peak = len(self._entries)
+        return True
+
+    # -- ISAX-visible operations (Table I) --------------------------------
+    def count(self) -> int:
+        """`count rd, rs1`: number of buffered packets."""
+        return len(self._entries)
+
+    def top(self, bit_offset: int) -> int:
+        """`top rd, rs1`: head element's field, without removal."""
+        if not self._entries:
+            raise QueueError("top on empty message queue")
+        return self._entries[0].word(bit_offset)
+
+    def pop(self, bit_offset: int) -> int:
+        """`pop rd, rs1`: remove the head, return its field."""
+        if not self._entries:
+            raise QueueError("pop on empty message queue")
+        packet = self._entries.popleft()
+        self._recent = packet
+        self._popped.append(packet)
+        self.stat_pops += 1
+        return packet.word(bit_offset)
+
+    def recent(self, bit_offset: int) -> int:
+        """`recent rd, rs1`: field of the most recently removed element
+        (e.g. AddressSanitizer fetches the PC only on a detected
+        error — §III-D)."""
+        if self._recent is None:
+            raise QueueError("recent before any pop")
+        return self._recent.word(bit_offset)
+
+    @property
+    def recent_packet(self) -> Packet | None:
+        return self._recent
+
+    def recently_popped(self) -> tuple[Packet, ...]:
+        """Newest-first window of popped packets (alert attribution)."""
+        return tuple(reversed(self._popped))
+
+    def note_cycle(self) -> None:
+        if self.full:
+            self.stat_full_cycles += 1
+
+
+class WordQueue:
+    """Bounded FIFO of raw 64-bit words (peer/output queues)."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ConfigError("word queue depth must be positive")
+        self.depth = depth
+        self._entries: deque[int] = deque()
+        self.stat_pushes = 0
+        self.stat_pops = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, word: int) -> bool:
+        if self.full:
+            return False
+        self._entries.append(word)
+        self.stat_pushes += 1
+        return True
+
+    def pop(self) -> int:
+        if not self._entries:
+            raise QueueError("pop on empty word queue")
+        self.stat_pops += 1
+        return self._entries.popleft()
+
+    def head(self) -> int:
+        if not self._entries:
+            raise QueueError("head of empty word queue")
+        return self._entries[0]
+
+
+class QueueController:
+    """MSQ_Ctrl (Fig 6(b)): the ISAX-facing façade over the queues.
+
+    Queue selector 0 is the packet input queue; selector 1 is the peer
+    (NoC) queue.  Status registers (engine id, destination register for
+    pushes) sit behind the APB bridge.
+    """
+
+    INPUT = 0
+    PEER = 1
+
+    def __init__(self, engine_id: int, input_depth: int, peer_depth: int,
+                 output_depth: int = 8):
+        self.engine_id = engine_id
+        self.input_queue = MessageQueue(input_depth)
+        self.peer_queue = WordQueue(peer_depth)
+        self.output_queue: deque[tuple[int, int]] = deque()
+        self._output_depth = output_depth
+        self.dest_register = 0  # target engine for pushed words
+
+    def count(self, selector: int) -> int:
+        if selector == self.INPUT:
+            return self.input_queue.count()
+        if selector == self.PEER:
+            return len(self.peer_queue)
+        raise QueueError(f"bad queue selector {selector}")
+
+    def can_push(self) -> bool:
+        return len(self.output_queue) < self._output_depth
+
+    def push(self, word: int) -> bool:
+        """`push rs1`: enqueue a word for the routing channel, targeted
+        at the engine named by the destination status register."""
+        if not self.can_push():
+            return False
+        self.output_queue.append((self.dest_register, word))
+        return True
+
+    def take_outgoing(self) -> tuple[int, int] | None:
+        """Fabric side: drain one (dest, word) pair per cycle."""
+        if self.output_queue:
+            return self.output_queue.popleft()
+        return None

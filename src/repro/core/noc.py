@@ -1,0 +1,119 @@
+"""Routing channel: Manhattan-grid NoC mesh (§III-C).
+
+The full-duplex N-to-N channel lets checkers exchange words (shadow
+stack hand-off, UaF quarantine coordination).  Each router has five
+bi-directional ports (N/S/E/W/local); routing is dimension-ordered
+(XY).  The model tracks per-link occupancy: each hop takes
+``hop_cycles`` and a link carries one flit per cycle, so contended
+paths serialise — a latency/occupancy model rather than a
+flit-by-flit one (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.core.msgqueue import WordQueue
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NocParams:
+    rows: int
+    cols: int
+    hop_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError("mesh dimensions must be positive")
+        if self.hop_cycles <= 0:
+            raise ConfigError("hop latency must be positive")
+
+
+class MeshNoc:
+    """XY-routed mesh connecting the analysis engines."""
+
+    def __init__(self, params: NocParams, peer_queues: list[WordQueue]):
+        self.params = params
+        if len(peer_queues) > params.rows * params.cols:
+            raise ConfigError(
+                f"{len(peer_queues)} engines exceed a "
+                f"{params.rows}x{params.cols} mesh")
+        self.peer_queues = peer_queues
+        # Per-directed-link next-free cycle, keyed by (node, node).
+        self._link_free: dict[tuple[int, int], int] = {}
+        # In-flight words: (arrival_cycle, order, dst, word).
+        self._in_flight: list[tuple[int, int, int, int]] = []
+        self._order = 0
+        self.stat_sent = 0
+        self.stat_delivered = 0
+        self.stat_total_hops = 0
+        self.stat_link_waits = 0
+
+    def _coords(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.params.cols)
+
+    def xy_path(self, src: int, dst: int) -> list[int]:
+        """Dimension-ordered route: X first, then Y."""
+        r0, c0 = self._coords(src)
+        r1, c1 = self._coords(dst)
+        path = [src]
+        r, c = r0, c0
+        step = 1 if c1 > c0 else -1
+        while c != c1:
+            c += step
+            path.append(r * self.params.cols + c)
+        step = 1 if r1 > r0 else -1
+        while r != r1:
+            r += step
+            path.append(r * self.params.cols + c)
+        return path
+
+    def send(self, src: int, dst: int, word: int, low_cycle: int) -> int:
+        """Inject a word; returns its arrival cycle at ``dst``.
+
+        Each link along the XY path is claimed at its earliest free
+        cycle, so concurrent transfers over shared links serialise.
+        """
+        if src == dst:
+            arrival = low_cycle + 1
+        else:
+            path = self.xy_path(src, dst)
+            t = low_cycle
+            for a, b in zip(path, path[1:]):
+                link = (a, b)
+                free = self._link_free.get(link, 0)
+                start = max(t, free)
+                self.stat_link_waits += start - t
+                self._link_free[link] = start + 1
+                t = start + self.params.hop_cycles
+            arrival = t
+            self.stat_total_hops += len(path) - 1
+        self._order += 1
+        heappush(self._in_flight, (arrival, self._order, dst, word))
+        self.stat_sent += 1
+        return arrival
+
+    def step(self, low_cycle: int) -> None:
+        """Deliver every word whose arrival cycle has come, in order.
+        If the destination's peer queue is full the word waits at the
+        ejection port (retried next cycle)."""
+        requeue = []
+        while self._in_flight and self._in_flight[0][0] <= low_cycle:
+            arrival, order, dst, word = heappop(self._in_flight)
+            if self.peer_queues[dst].push(word):
+                self.stat_delivered += 1
+            else:
+                requeue.append((low_cycle + 1, order, dst, word))
+        for item in requeue:
+            heappush(self._in_flight, item)
+
+    @property
+    def idle(self) -> bool:
+        return not self._in_flight
+
+    def mean_hops(self) -> float:
+        if not self.stat_sent:
+            return 0.0
+        return self.stat_total_hops / self.stat_sent

@@ -1,0 +1,94 @@
+"""Scheduling Engines (§III-C, Fig 5).
+
+Each SE is one-to-one associated with a guardian kernel.  It owns two
+scheduling registers (PT_reg — previous target — and CT_reg — current
+target), an AE_Bitmap naming the analysis engines running its kernel,
+and a scheduling circuit implementing the paper's policies:
+
+* ``FIXED`` — always the first engine in the group;
+* ``ROUND_ROBIN`` — rotate per packet;
+* ``BLOCK`` — keep sending to one engine for a fixed block of packets
+  before moving on (message locality for e.g. the shadow stack).  The
+  paper describes switching when the target queue fills; a fixed block
+  length is the deterministic variant that lets kernels run a matching
+  hand-off protocol over the routing NoC (see
+  :mod:`repro.kernels.shadow_stack`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.utils.bitfield import Bitmap
+
+
+class SchedulingPolicy(Enum):
+    FIXED = "fixed"
+    ROUND_ROBIN = "round_robin"
+    BLOCK = "block"
+
+    @classmethod
+    def parse(cls, name: str) -> "SchedulingPolicy":
+        try:
+            return cls(name)
+        except ValueError:
+            raise ConfigError(f"unknown scheduling policy {name!r}") from None
+
+
+class SchedulingEngine:
+    """One SE: selects the target analysis engine for each packet."""
+
+    def __init__(self, se_index: int, engines: Sequence[int],
+                 num_engines_total: int,
+                 policy: SchedulingPolicy = SchedulingPolicy.ROUND_ROBIN,
+                 block_size: int = 16):
+        if not engines:
+            raise ConfigError(f"SE {se_index}: empty engine group")
+        for e in engines:
+            if not 0 <= e < num_engines_total:
+                raise ConfigError(
+                    f"SE {se_index}: engine {e} outside "
+                    f"[0, {num_engines_total})")
+        if block_size <= 0:
+            raise ConfigError(f"SE {se_index}: block size must be positive")
+        self.se_index = se_index
+        self.engines = tuple(engines)
+        self.policy = policy
+        self.block_size = block_size
+        self.ae_bitmap = Bitmap(num_engines_total)
+        self.pt_reg = 0   # previous target (position within the group)
+        self.ct_reg = 0   # current target
+        self._block_remaining = block_size
+        self.stat_selections = 0
+        self.stat_block_switches = 0
+
+    def select(self) -> int:
+        """Run the scheduling circuit: compute CT_reg from PT_reg, set
+        the AE_Bitmap bit, and return the chosen engine index."""
+        self.stat_selections += 1
+        if self.policy is SchedulingPolicy.FIXED:
+            position = 0
+        elif self.policy is SchedulingPolicy.ROUND_ROBIN:
+            position = ((self.pt_reg + 1) % len(self.engines)
+                        if self.stat_selections > 1 else 0)
+        else:  # BLOCK
+            position = self._select_block()
+        self.ct_reg = position
+        engine = self.engines[position]
+        self.ae_bitmap.clear_all()
+        self.ae_bitmap.set(engine)
+        self.pt_reg = self.ct_reg
+        return engine
+
+    def _select_block(self) -> int:
+        """BLOCK mode: stay on the previous target for ``block_size``
+        packets, then advance around the group."""
+        position = self.pt_reg
+        if self._block_remaining == 0:
+            position = (position + 1) % len(self.engines)
+            self._block_remaining = self.block_size
+            self.stat_block_switches += 1
+        self._block_remaining -= 1
+        return position

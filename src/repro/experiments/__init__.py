@@ -1,0 +1,27 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning structured rows and a
+``main()`` that prints the table the paper reports.  The CLI
+(``python -m repro.experiments <id>``) dispatches to them; the
+``benchmarks/`` tree wraps the same entry points in pytest-benchmark.
+
+Scale: trace length defaults to ``DEFAULT_TRACE_LEN`` and can be
+overridden with the ``REPRO_TRACE_LEN`` environment variable — the
+paper's shapes are stable from ~6 k instructions up.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    DEFAULT_TRACE_LEN,
+    cached_trace,
+    run_monitored,
+    trace_length,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_TRACE_LEN",
+    "cached_trace",
+    "run_monitored",
+    "trace_length",
+]

@@ -1,0 +1,47 @@
+"""Experiment CLI: ``python -m repro.experiments <id> [...]``.
+
+IDs: fig7a fig7b fig8 fig9 fig10 fig11 table2 table3 ablations all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ablations, fig7a, fig7b, fig8, fig9
+from repro.experiments import fig10, fig11, table2, table3
+
+_EXPERIMENTS = {
+    "fig7a": fig7a.main,
+    "fig7b": fig7b.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "table2": table2.main,
+    "table3": table3.main,
+    "ablations": ablations.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        print("available:", " ".join([*_EXPERIMENTS, "all"]))
+        return 0
+    name = args[0]
+    if name == "all":
+        for key, fn in _EXPERIMENTS.items():
+            print(f"\n=== {key} ===")
+            fn()
+        return 0
+    if name not in _EXPERIMENTS:
+        print(f"unknown experiment {name!r}; "
+              f"available: {' '.join([*_EXPERIMENTS, 'all'])}")
+        return 2
+    _EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

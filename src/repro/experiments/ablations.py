@@ -1,0 +1,150 @@
+"""Design-choice ablations.
+
+The paper argues for several specific design points; these ablations
+measure what each one buys, using the same workloads as the main
+figures:
+
+* **ISAX coupling** (§III-D): Rocket's stock post-commit interface vs
+  FireGuard's MA-stage redesign (3–13 cycles vs 1–2 per queue op);
+* **scalar mapper** (§III-C): the 1-packet/cycle mapper vs the
+  footnote-5 superscalar variant — on a 4-wide BOOM the paper expects
+  the scalar mapper to cost <0.5 %;
+* **queue sizing**: event-filter FIFO depth, CDC depth, and message
+  queue depth around the Table II values;
+* **shadow-stack block size**: message locality vs hand-off frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import FireGuardSystem
+from repro.experiments.common import baseline_cycles, cached_trace
+from repro.kernels import make_kernel
+from repro.utils.stats import geomean
+
+DEFAULT_BENCHMARKS = ("swaptions", "dedup", "x264")
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    name: str
+    setting: str
+    geomean_slowdown: float
+
+    def as_row(self) -> list[str]:
+        return [self.name, self.setting, f"{self.geomean_slowdown:.3f}"]
+
+
+def _geomean_slowdown(kernel_name: str, config: FireGuardConfig,
+                      benchmarks: tuple[str, ...],
+                      isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
+                      block_size: int | None = None) -> float:
+    values = []
+    for bench in benchmarks:
+        trace = cached_trace(bench)
+        base = baseline_cycles(bench)
+        kernel = make_kernel(kernel_name)
+        if block_size is not None:
+            kernel.block_size = block_size
+        system = FireGuardSystem([kernel], config=config,
+                                 isax_style=isax_style)
+        values.append(system.run(trace).cycles / base)
+    return geomean(values)
+
+
+def isax_ablation(benchmarks=DEFAULT_BENCHMARKS) -> list[AblationRow]:
+    """MA-stage vs post-commit ISAX on the heaviest kernel."""
+    rows = []
+    for style in (IsaxStyle.MA_STAGE, IsaxStyle.POST_COMMIT):
+        gm = _geomean_slowdown("asan", FireGuardConfig(),
+                               benchmarks, isax_style=style)
+        rows.append(AblationRow("isax_coupling", style.value, gm))
+    return rows
+
+
+def mapper_width_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                          ) -> list[AblationRow]:
+    """Scalar vs superscalar mapper on a 4-wide core."""
+    rows = []
+    for width in (1, 2, 4):
+        gm = _geomean_slowdown(
+            "asan", FireGuardConfig(mapper_width=width), benchmarks)
+        rows.append(AblationRow("mapper_width", str(width), gm))
+    return rows
+
+
+def fifo_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        ) -> list[AblationRow]:
+    """Event-filter FIFO sizing around Table II's 16 entries."""
+    rows = []
+    for depth in (4, 16, 64):
+        gm = _geomean_slowdown(
+            "asan", FireGuardConfig(fifo_depth=depth), benchmarks)
+        rows.append(AblationRow("filter_fifo_depth", str(depth), gm))
+    return rows
+
+
+def cdc_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                       ) -> list[AblationRow]:
+    """CDC sizing around Table II's 8 entries."""
+    rows = []
+    for depth in (2, 8, 32):
+        gm = _geomean_slowdown(
+            "asan", FireGuardConfig(cdc_depth=depth), benchmarks)
+        rows.append(AblationRow("cdc_depth", str(depth), gm))
+    return rows
+
+
+def msgq_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        ) -> list[AblationRow]:
+    """Message-queue sizing around Table II's 32 entries."""
+    rows = []
+    for depth in (8, 32, 128):
+        gm = _geomean_slowdown(
+            "asan", FireGuardConfig(msgq_depth=depth), benchmarks)
+        rows.append(AblationRow("msgq_depth", str(depth), gm))
+    return rows
+
+
+def block_size_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        ) -> list[AblationRow]:
+    """Shadow-stack block size: locality vs hand-off frequency."""
+    rows = []
+    for size in (4, 16, 64):
+        gm = _geomean_slowdown("shadow_stack", FireGuardConfig(),
+                               benchmarks, block_size=size)
+        rows.append(AblationRow("ss_block_size", str(size), gm))
+    return rows
+
+
+ABLATIONS = {
+    "isax": isax_ablation,
+    "mapper_width": mapper_width_ablation,
+    "fifo_depth": fifo_depth_ablation,
+    "cdc_depth": cdc_depth_ablation,
+    "msgq_depth": msgq_depth_ablation,
+    "block_size": block_size_ablation,
+}
+
+
+def run(benchmarks=DEFAULT_BENCHMARKS) -> list[AblationRow]:
+    rows: list[AblationRow] = []
+    for fn in ABLATIONS.values():
+        rows.extend(fn(benchmarks))
+    return rows
+
+
+def main() -> str:
+    rows = [["ablation", "setting", "geomean_slowdown"]]
+    rows.extend(r.as_row() for r in run())
+    out = format_table(rows, title="Design-choice ablations")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import FireGuardSystem, SystemResult
+from repro.kernels import make_kernel
+from repro.kernels.base import KernelStrategy
+from repro.ooo.core import MainCore
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.record import Trace
+
+DEFAULT_TRACE_LEN = 8000
+DEFAULT_SEED = 7
+
+
+def trace_length() -> int:
+    """Trace length, overridable via REPRO_TRACE_LEN."""
+    return int(os.environ.get("REPRO_TRACE_LEN", DEFAULT_TRACE_LEN))
+
+
+@lru_cache(maxsize=64)
+def cached_trace(benchmark: str, seed: int = DEFAULT_SEED,
+                 length: int | None = None) -> Trace:
+    """Generate (once) the trace for a benchmark."""
+    return generate_trace(PARSEC_PROFILES[benchmark], seed=seed,
+                          length=length or trace_length())
+
+
+@lru_cache(maxsize=64)
+def baseline_cycles(benchmark: str, seed: int = DEFAULT_SEED,
+                    length: int | None = None) -> int:
+    """Unmonitored-core cycles (the slowdown denominator)."""
+    trace = cached_trace(benchmark, seed, length)
+    return MainCore().run_standalone(trace).cycles
+
+
+def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
+                  engines_per_kernel: int = 4,
+                  accelerated: frozenset[str] = frozenset(),
+                  filter_width: int = 4,
+                  strategy: KernelStrategy = KernelStrategy.HYBRID,
+                  isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
+                  seed: int = DEFAULT_SEED,
+                  length: int | None = None,
+                  trace: Trace | None = None) -> tuple[SystemResult, int]:
+    """Run one FireGuard configuration; returns (result, baseline)."""
+    if trace is None:
+        trace = cached_trace(benchmark, seed, length)
+        base = baseline_cycles(benchmark, seed, length)
+    else:
+        base = MainCore().run_standalone(trace).cycles
+        # A fresh core consumed the trace; the system below re-runs it.
+    kernels = [make_kernel(name, strategy=strategy)
+               for name in kernel_names]
+    config = FireGuardConfig(filter_width=filter_width,
+                             num_engines=engines_per_kernel)
+    system = FireGuardSystem(
+        kernels, config=config,
+        engines_per_kernel={n: engines_per_kernel for n in kernel_names},
+        accelerated=accelerated, isax_style=isax_style)
+    result = system.run(trace)
+    return result, base

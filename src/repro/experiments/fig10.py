@@ -1,0 +1,65 @@
+"""Fig 10: scalability — slowdown vs number of µcores.
+
+PMC and shadow stack sweep 2/4/6 engines; AddressSanitizer and UaF
+sweep 2–12.  Paper shape: PMC 20 % at 2 µcores → 2 % at 4; shadow
+stack 7.3 % → 2.1 % → 0.4 %; ASan 86 % at 2, with x264 slowest to
+recover; UaF heaviest, with dedup's allocation work refusing to
+parallelise.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.report import format_table
+from repro.experiments.common import baseline_cycles, run_monitored
+from repro.trace.profiles import PARSEC_BENCHMARKS
+
+SWEEPS: dict[str, tuple[int, ...]] = {
+    "pmc": (2, 4, 6),
+    "shadow_stack": (2, 4, 6),
+    "asan": (2, 4, 6, 8, 10, 12),
+    "uaf": (2, 4, 6, 8, 10, 12),
+}
+
+
+def run(kernel_name: str,
+        benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        counts: tuple[int, ...] | None = None) -> SlowdownTable:
+    counts = counts or SWEEPS[kernel_name]
+    table = SlowdownTable(list(benchmarks))
+    for bench in benchmarks:
+        base = baseline_cycles(bench)
+        for count in counts:
+            result, _ = run_monitored(bench, (kernel_name,),
+                                      engines_per_kernel=count)
+            table.record(bench, f"{count}uc", result.cycles / base)
+    return table
+
+
+def run_all(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+            ) -> dict[str, SlowdownTable]:
+    return {name: run(name, benchmarks) for name in SWEEPS}
+
+
+def main() -> str:
+    from repro.analysis.viz import series_chart
+
+    chunks = []
+    for panel, kernel_name in zip("abcd", SWEEPS):
+        table = run(kernel_name)
+        chunks.append(format_table(
+            table.rows(),
+            title=f"Fig 10({panel}): {kernel_name} slowdown vs "
+                  f"ucore count"))
+        counts = SWEEPS[kernel_name]
+        geomeans = [table.scheme_geomean(f"{c}uc") for c in counts]
+        chunks.append(series_chart(
+            list(counts), {f"{kernel_name} geomean": geomeans},
+            title=f"Fig 10({panel}) geomean curve"))
+    out = "\n\n".join(chunks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

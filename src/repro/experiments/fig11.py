@@ -1,0 +1,57 @@
+"""Fig 11: programming models (PMC, 4 µcores).
+
+The same PMC kernel compiled four ways: a conventional
+single-iteration loop, Duff's device, pure unrolling, and the hybrid
+strategy.  Paper shape: the conventional loop suffers on
+memory-intensive workloads (up to 3.7× on x264); hybrid is uniformly
+best, with unrolling close behind.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.report import format_table
+from repro.experiments.common import baseline_cycles, run_monitored
+from repro.kernels.base import KernelStrategy
+from repro.trace.profiles import PARSEC_BENCHMARKS
+
+
+def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        num_engines: int = 4) -> SlowdownTable:
+    table = SlowdownTable(list(benchmarks))
+    for bench in benchmarks:
+        base = baseline_cycles(bench)
+        for strategy in KernelStrategy:
+            result, _ = run_monitored(
+                bench, ("pmc",), engines_per_kernel=num_engines,
+                strategy=strategy)
+            table.record(bench, strategy.value, result.cycles / base)
+    return table
+
+
+def main() -> str:
+    from repro.analysis.shapes import check_strategy_ordering
+    from repro.analysis.viz import bar_chart
+
+    table = run()
+    chart = bar_chart(
+        {s: table.scheme_geomean(s) for s in table.schemes},
+        title="Fig 11 geomeans")
+    check = check_strategy_ordering(
+        table.scheme_geomean("conventional"),
+        table.scheme_geomean("duff"),
+        table.scheme_geomean("unrolled"),
+        table.scheme_geomean("hybrid"))
+    out = "\n".join([
+        format_table(table.rows(),
+                     title="Fig 11: programming-model slowdown "
+                           "(PMC, 4 ucores)"),
+        chart,
+        f"shape [{'ok' if check.holds else 'FAIL'}]: {check.detail}",
+    ])
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Fig 7(b): combining safeguards.
+
+Multiple kernels run simultaneously, each with its own engine group;
+the filter/mapper are shared.  Paper observation: the heaviest kernel
+dominates but slowdowns do not multiply.  With three kernels the
+shadow stack moves to a hardware accelerator, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.report import format_table
+from repro.experiments.common import baseline_cycles, run_monitored
+from repro.trace.profiles import PARSEC_BENCHMARKS
+
+COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
+    ("ss+pmc", ("shadow_stack", "pmc"), frozenset()),
+    ("as+pmc", ("asan", "pmc"), frozenset()),
+    ("uaf+pmc", ("uaf", "pmc"), frozenset()),
+    ("uaf+as", ("uaf", "asan"), frozenset()),
+    ("ss+as", ("shadow_stack", "asan"), frozenset()),
+    ("ss+pmc+as", ("shadow_stack", "pmc", "asan"),
+     frozenset({"shadow_stack"})),
+    ("ss+pmc+uaf", ("shadow_stack", "pmc", "uaf"),
+     frozenset({"shadow_stack"})),
+)
+
+
+def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS) -> SlowdownTable:
+    table = SlowdownTable(list(benchmarks))
+    for bench in benchmarks:
+        base = baseline_cycles(bench)
+        for column, kernels, accelerated in COMBINATIONS:
+            result, _ = run_monitored(bench, kernels,
+                                      accelerated=accelerated)
+            table.record(bench, column, result.cycles / base)
+    return table
+
+
+def main() -> str:
+    table = run()
+    out = format_table(
+        table.rows(),
+        title="Fig 7(b): slowdown when combining safeguards "
+              "(4 ucores per kernel; SS as HA with 3 kernels)")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Table III: feasibility of FireGuard in commercial SoCs.
+
+Pure analytical reproduction (§IV-G): normalise published core areas
+to 14 nm by density ratios, scale the µcore count with normalised
+throughput, and account per-core and per-SoC overheads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import (
+    feasibility_table,
+    fireguard_area_breakdown,
+    soc_overhead,
+)
+from repro.analysis.report import format_table
+
+
+def run() -> tuple[list[list[str]], list[list[str]]]:
+    per_core = [["processor", "soc", "area@14nm", "throughput",
+                 "(recomputed)", "filter", "ucores", "overhead_mm2",
+                 "pct_of_core"]]
+    for row in feasibility_table():
+        per_core.append([
+            row.processor, row.soc, f"{row.area_at_14nm:.2f}",
+            f"{row.normalized_throughput:.2f}",
+            f"{row.computed_throughput:.2f}",
+            f"{row.filter_width}-way", str(row.num_ucores),
+            f"{row.overhead_mm2:.2f}",
+            f"{row.overhead_pct_of_core:.1f}%",
+        ])
+    per_soc = [["soc", "overhead_mm2", "pct_of_soc"]]
+    for soc in soc_overhead():
+        per_soc.append([soc.name, f"{soc.total_overhead():.2f}",
+                        f"{soc.overhead_pct():.2f}%"])
+    return per_core, per_soc
+
+
+def main() -> str:
+    per_core, per_soc = run()
+    breakdown = fireguard_area_breakdown()
+    lines = [
+        format_table(per_core,
+                     title="Table III (middle): per-core overhead"),
+        "",
+        format_table(per_soc,
+                     title="Table III (bottom): an independent kernel "
+                           "for all cores"),
+        "",
+        "SS IV-F prototype areas: "
+        f"BOOM {breakdown.boom:.3f} mm2, "
+        f"4 Rockets {breakdown.rockets:.3f} mm2, "
+        f"filter {breakdown.filter_area:.3f} mm2, "
+        f"mapper {breakdown.mapper:.3f} mm2; "
+        f"transport {breakdown.transport_pct_of_boom:.2f}% of BOOM, "
+        f"{breakdown.transport_pct_of_soc:.2f}% of SoC; "
+        f"FireGuard {breakdown.fireguard_pct_of_boom:.1f}% of BOOM, "
+        f"{breakdown.fireguard_pct_of_soc:.2f}% of SoC.",
+    ]
+    out = "\n".join(lines)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""RISC-V ISA substrate.
+
+FireGuard's mini-filters are indexed by the concatenation of an
+instruction's ``funct3`` and 7-bit opcode (§III-B, Fig 3).  This package
+provides the opcode/funct tables, instruction encode/decode for the
+RV64IM subset the simulator uses, and the 10-bit filter index mapping.
+"""
+
+from repro.isa.decode import DecodedInstr, decode, encode_instr
+from repro.isa.encoding import (
+    decode_b_imm,
+    decode_i_imm,
+    decode_j_imm,
+    decode_s_imm,
+    decode_u_imm,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+from repro.isa.filter_index import (
+    FILTER_INDEX_BITS,
+    FILTER_TABLE_SIZE,
+    filter_index,
+    split_filter_index,
+)
+from repro.isa.opcodes import (
+    OP_AMO,
+    OP_AUIPC,
+    OP_BRANCH,
+    OP_CUSTOM0,
+    OP_CUSTOM1,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LOAD_FP,
+    OP_LUI,
+    OP_MISC_MEM,
+    OP_OP,
+    OP_OP_32,
+    OP_OP_FP,
+    OP_OP_IMM,
+    OP_OP_IMM_32,
+    OP_STORE,
+    OP_STORE_FP,
+    OP_SYSTEM,
+    InstrClass,
+    classify,
+)
+from repro.isa.registers import REG_ABI_NAMES, reg_name, reg_number
+
+__all__ = [
+    "DecodedInstr",
+    "FILTER_INDEX_BITS",
+    "FILTER_TABLE_SIZE",
+    "InstrClass",
+    "OP_AMO",
+    "OP_AUIPC",
+    "OP_BRANCH",
+    "OP_CUSTOM0",
+    "OP_CUSTOM1",
+    "OP_JAL",
+    "OP_JALR",
+    "OP_LOAD",
+    "OP_LOAD_FP",
+    "OP_LUI",
+    "OP_MISC_MEM",
+    "OP_OP",
+    "OP_OP_32",
+    "OP_OP_FP",
+    "OP_OP_IMM",
+    "OP_OP_IMM_32",
+    "OP_STORE",
+    "OP_STORE_FP",
+    "OP_SYSTEM",
+    "REG_ABI_NAMES",
+    "classify",
+    "decode",
+    "decode_b_imm",
+    "decode_i_imm",
+    "decode_j_imm",
+    "decode_s_imm",
+    "decode_u_imm",
+    "encode_b",
+    "encode_i",
+    "encode_instr",
+    "encode_j",
+    "encode_r",
+    "encode_s",
+    "encode_u",
+    "filter_index",
+    "reg_name",
+    "reg_number",
+    "split_filter_index",
+]

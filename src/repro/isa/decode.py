@@ -1,0 +1,207 @@
+"""Instruction decoder / mnemonic-level encoder for the RV64IM subset.
+
+The trace generator emits real encoded instruction words so the event
+filter indexes its SRAM exactly the way the hardware does; the decoder
+recovers fields for the data-forwarding channel and for disassembly in
+debug output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.isa import opcodes as op
+from repro.isa.encoding import (
+    decode_b_imm,
+    decode_i_imm,
+    decode_j_imm,
+    decode_s_imm,
+    decode_u_imm,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+from repro.isa.registers import reg_name
+from repro.utils.bitfield import bits
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """Decoded fields of one 32-bit instruction word."""
+
+    word: int
+    opcode: int
+    funct3: int
+    funct7: int
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    mnemonic: str
+    iclass: op.InstrClass
+
+    def disassemble(self) -> str:
+        """Human-readable rendering (debug output only)."""
+        m = self.mnemonic
+        if self.opcode in (op.OP_LOAD, op.OP_JALR):
+            return f"{m} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        if self.opcode == op.OP_STORE:
+            return f"{m} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if self.opcode == op.OP_BRANCH:
+            return f"{m} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {self.imm}"
+        if self.opcode == op.OP_JAL:
+            return f"{m} {reg_name(self.rd)}, {self.imm}"
+        if self.opcode in (op.OP_LUI, op.OP_AUIPC):
+            return f"{m} {reg_name(self.rd)}, {self.imm:#x}"
+        if self.opcode == op.OP_OP_IMM:
+            return f"{m} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        return (f"{m} {reg_name(self.rd)}, {reg_name(self.rs1)}, "
+                f"{reg_name(self.rs2)}")
+
+
+_OP_MNEMONICS = {
+    (op.F3_ADD_SUB, op.F7_STANDARD): "add",
+    (op.F3_ADD_SUB, op.F7_ALT): "sub",
+    (op.F3_SLL, op.F7_STANDARD): "sll",
+    (op.F3_SLT, op.F7_STANDARD): "slt",
+    (op.F3_SLTU, op.F7_STANDARD): "sltu",
+    (op.F3_XOR, op.F7_STANDARD): "xor",
+    (op.F3_SRL_SRA, op.F7_STANDARD): "srl",
+    (op.F3_SRL_SRA, op.F7_ALT): "sra",
+    (op.F3_OR, op.F7_STANDARD): "or",
+    (op.F3_AND, op.F7_STANDARD): "and",
+    (op.F3_MUL, op.F7_MULDIV): "mul",
+    (op.F3_MULH, op.F7_MULDIV): "mulh",
+    (op.F3_MULHSU, op.F7_MULDIV): "mulhsu",
+    (op.F3_MULHU, op.F7_MULDIV): "mulhu",
+    (op.F3_DIV, op.F7_MULDIV): "div",
+    (op.F3_DIVU, op.F7_MULDIV): "divu",
+    (op.F3_REM, op.F7_MULDIV): "rem",
+    (op.F3_REMU, op.F7_MULDIV): "remu",
+}
+
+_OP_IMM_MNEMONICS = {
+    op.F3_ADD_SUB: "addi", op.F3_SLL: "slli", op.F3_SLT: "slti",
+    op.F3_SLTU: "sltiu", op.F3_XOR: "xori", op.F3_SRL_SRA: "srli",
+    op.F3_OR: "ori", op.F3_AND: "andi",
+}
+
+
+def decode(word: int) -> DecodedInstr:
+    """Decode a 32-bit instruction word into fields + class.
+
+    Unknown encodings decode with mnemonic ``"unknown"`` rather than
+    raising: the filter must index *any* committed instruction, and the
+    hardware SRAM has an entry for every 10-bit index.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"instruction word {word:#x} outside 32 bits")
+    opcode = bits(word, 6, 0)
+    rd = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+    imm = 0
+    mnemonic = "unknown"
+
+    if opcode == op.OP_LOAD:
+        imm = decode_i_imm(word)
+        mnemonic = op.LOAD_MNEMONICS.get(funct3, "unknown")
+    elif opcode == op.OP_STORE:
+        imm = decode_s_imm(word)
+        mnemonic = op.STORE_MNEMONICS.get(funct3, "unknown")
+    elif opcode == op.OP_BRANCH:
+        imm = decode_b_imm(word)
+        mnemonic = op.BRANCH_MNEMONICS.get(funct3, "unknown")
+    elif opcode == op.OP_JAL:
+        imm = decode_j_imm(word)
+        mnemonic = "jal"
+    elif opcode == op.OP_JALR:
+        imm = decode_i_imm(word)
+        mnemonic = "jalr"
+    elif opcode == op.OP_LUI:
+        imm = decode_u_imm(word)
+        mnemonic = "lui"
+    elif opcode == op.OP_AUIPC:
+        imm = decode_u_imm(word)
+        mnemonic = "auipc"
+    elif opcode == op.OP_OP_IMM:
+        imm = decode_i_imm(word)
+        mnemonic = _OP_IMM_MNEMONICS.get(funct3, "unknown")
+    elif opcode == op.OP_OP:
+        mnemonic = _OP_MNEMONICS.get((funct3, funct7), "unknown")
+    elif opcode == op.OP_SYSTEM:
+        imm = decode_i_imm(word)
+        mnemonic = "csr" if funct3 != 0 else ("ecall" if imm == 0 else "ebreak")
+    elif opcode == op.OP_MISC_MEM:
+        mnemonic = "fence"
+    elif opcode in (op.OP_CUSTOM0, op.OP_CUSTOM1):
+        mnemonic = f"custom{0 if opcode == op.OP_CUSTOM0 else 1}.f{funct3}"
+    elif opcode == op.OP_OP_FP:
+        mnemonic = "fp-op"
+    elif opcode == op.OP_LOAD_FP:
+        imm = decode_i_imm(word)
+        mnemonic = "flw"
+    elif opcode == op.OP_STORE_FP:
+        imm = decode_s_imm(word)
+        mnemonic = "fsw"
+
+    iclass = op.classify(opcode, funct3, rd=rd, rs1=rs1, funct7=funct7)
+    return DecodedInstr(word=word, opcode=opcode, funct3=funct3,
+                        funct7=funct7, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                        mnemonic=mnemonic, iclass=iclass)
+
+
+_R_BY_MNEMONIC = {m: (f3, f7) for (f3, f7), m in _OP_MNEMONICS.items()}
+_I_BY_MNEMONIC = {m: f3 for f3, m in _OP_IMM_MNEMONICS.items()}
+_LOAD_BY_MNEMONIC = {m: f3 for f3, m in op.LOAD_MNEMONICS.items()}
+_STORE_BY_MNEMONIC = {m: f3 for f3, m in op.STORE_MNEMONICS.items()}
+_BRANCH_BY_MNEMONIC = {m: f3 for f3, m in op.BRANCH_MNEMONICS.items()}
+
+
+def encode_instr(mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+                 imm: int = 0) -> int:
+    """Encode an instruction by mnemonic (the trace generator's entry
+    point).  Supports the RV64IM subset that :func:`decode` knows."""
+    m = mnemonic.lower()
+    if m in _R_BY_MNEMONIC:
+        funct3, funct7 = _R_BY_MNEMONIC[m]
+        return encode_r(op.OP_OP, rd, funct3, rs1, rs2, funct7)
+    if m in _I_BY_MNEMONIC:
+        return encode_i(op.OP_OP_IMM, rd, _I_BY_MNEMONIC[m], rs1, imm)
+    if m in _LOAD_BY_MNEMONIC:
+        return encode_i(op.OP_LOAD, rd, _LOAD_BY_MNEMONIC[m], rs1, imm)
+    if m in _STORE_BY_MNEMONIC:
+        return encode_s(op.OP_STORE, _STORE_BY_MNEMONIC[m], rs1, rs2, imm)
+    if m in _BRANCH_BY_MNEMONIC:
+        return encode_b(op.OP_BRANCH, _BRANCH_BY_MNEMONIC[m], rs1, rs2, imm)
+    if m == "jal":
+        return encode_j(op.OP_JAL, rd, imm)
+    if m == "jalr":
+        return encode_i(op.OP_JALR, rd, 0, rs1, imm)
+    if m == "lui":
+        return encode_u(op.OP_LUI, rd, imm)
+    if m == "auipc":
+        return encode_u(op.OP_AUIPC, rd, imm)
+    if m == "fence":
+        return encode_i(op.OP_MISC_MEM, 0, 0, 0, 0)
+    if m == "ecall":
+        return encode_i(op.OP_SYSTEM, 0, 0, 0, 0)
+    if m == "csrrw":
+        return encode_i(op.OP_SYSTEM, rd, 1, rs1, imm)
+    if m == "flw":
+        return encode_i(op.OP_LOAD_FP, rd, op.F3_LW, rs1, imm)
+    if m == "fsw":
+        return encode_s(op.OP_STORE_FP, op.F3_SW, rs1, rs2, imm)
+    if m == "fadd":
+        return encode_r(op.OP_OP_FP, rd, 0, rs1, rs2, 0)
+    if m.startswith("custom0.f"):
+        return encode_r(op.OP_CUSTOM0, rd, int(m[-1]), rs1, rs2, 0)
+    if m.startswith("custom1.f"):
+        return encode_r(op.OP_CUSTOM1, rd, int(m[-1]), rs1, rs2, 0)
+    raise EncodingError(f"cannot encode unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,118 @@
+"""RISC-V instruction format encoders/decoders (R/I/S/B/U/J).
+
+These implement the standard 32-bit base formats bit-for-bit; the
+decoder tests round-trip every format against them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.utils.bitfield import bits, sign_extend
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value < 32:
+        raise EncodingError(f"{name} must be in [0, 31], got {value}")
+
+
+def _check_range(name: str, value: int, lo: int, hi: int) -> None:
+    if not lo <= value <= hi:
+        raise EncodingError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+             funct7: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_reg("rd", rd)
+    _check_range("funct3", funct3, 0, 7)
+    _check_reg("rs1", rs1)
+    _check_reg("rs2", rs2)
+    _check_range("funct7", funct7, 0, 0x7F)
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_reg("rd", rd)
+    _check_range("funct3", funct3, 0, 7)
+    _check_reg("rs1", rs1)
+    _check_range("imm", imm, -2048, 2047)
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_range("funct3", funct3, 0, 7)
+    _check_reg("rs1", rs1)
+    _check_reg("rs2", rs2)
+    _check_range("imm", imm, -2048, 2047)
+    imm &= 0xFFF
+    imm_hi = bits(imm, 11, 5)
+    imm_lo = bits(imm, 4, 0)
+    return (imm_hi << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (imm_lo << 7) | opcode
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_range("funct3", funct3, 0, 7)
+    _check_reg("rs1", rs1)
+    _check_reg("rs2", rs2)
+    _check_range("imm", imm, -4096, 4094)
+    if imm & 1:
+        raise EncodingError(f"branch immediate must be even, got {imm}")
+    imm &= 0x1FFF
+    b12 = bits(imm, 12, 12)
+    b11 = bits(imm, 11, 11)
+    b10_5 = bits(imm, 10, 5)
+    b4_1 = bits(imm, 4, 1)
+    return (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15) \
+        | (funct3 << 12) | (b4_1 << 8) | (b11 << 7) | opcode
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_reg("rd", rd)
+    _check_range("imm20", imm, 0, 0xFFFFF)
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    _check_range("opcode", opcode, 0, 0x7F)
+    _check_reg("rd", rd)
+    _check_range("imm", imm, -(1 << 20), (1 << 20) - 2)
+    if imm & 1:
+        raise EncodingError(f"jump immediate must be even, got {imm}")
+    imm &= 0x1FFFFF
+    b20 = bits(imm, 20, 20)
+    b19_12 = bits(imm, 19, 12)
+    b11 = bits(imm, 11, 11)
+    b10_1 = bits(imm, 10, 1)
+    return (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) \
+        | (rd << 7) | opcode
+
+
+def decode_i_imm(word: int) -> int:
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def decode_s_imm(word: int) -> int:
+    return sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def decode_b_imm(word: int) -> int:
+    imm = (bits(word, 31, 31) << 12) | (bits(word, 7, 7) << 11) \
+        | (bits(word, 30, 25) << 5) | (bits(word, 11, 8) << 1)
+    return sign_extend(imm, 13)
+
+
+def decode_u_imm(word: int) -> int:
+    return bits(word, 31, 12)
+
+
+def decode_j_imm(word: int) -> int:
+    imm = (bits(word, 31, 31) << 20) | (bits(word, 19, 12) << 12) \
+        | (bits(word, 20, 20) << 11) | (bits(word, 30, 21) << 1)
+    return sign_extend(imm, 21)

@@ -1,0 +1,31 @@
+"""The mini-filter's 10-bit SRAM index (§III-B, Fig 3).
+
+The paper indexes each mini-filter's look-up table by the concatenation
+of the instruction's funct3 ("function code, higher 3 bits") and its
+7-bit opcode ("lower 7 bits"): ``index = funct3 << 7 | opcode``.  The
+paper's own examples confirm the layout: 0x03 indexes ``lb`` (funct3=0,
+opcode=0x03) and 0x23 indexes ``sb`` (funct3=0, opcode=0x23).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+FILTER_INDEX_BITS = 10
+FILTER_TABLE_SIZE = 1 << FILTER_INDEX_BITS  # 1024 entries (0x000-0x3FF)
+
+
+def filter_index(opcode: int, funct3: int) -> int:
+    """Build the 10-bit SRAM index from opcode and funct3."""
+    if not 0 <= opcode <= 0x7F:
+        raise EncodingError(f"opcode {opcode:#x} outside 7 bits")
+    if not 0 <= funct3 <= 0x7:
+        raise EncodingError(f"funct3 {funct3:#x} outside 3 bits")
+    return (funct3 << 7) | opcode
+
+
+def split_filter_index(index: int) -> tuple[int, int]:
+    """Inverse of :func:`filter_index`: returns ``(opcode, funct3)``."""
+    if not 0 <= index < FILTER_TABLE_SIZE:
+        raise EncodingError(f"filter index {index:#x} outside 10 bits")
+    return index & 0x7F, index >> 7

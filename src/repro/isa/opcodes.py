@@ -1,0 +1,149 @@
+"""RISC-V opcode constants, funct tables, and instruction classification.
+
+Only fields the simulator and filter actually consult are defined; the
+tables follow the RV64IM base encoding (plus the two custom opcode
+spaces, which FireGuard uses for allocator events and ISAX extensions).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+# --- 7-bit major opcodes (base RV encoding quadrant 3) -------------------
+OP_LOAD = 0x03
+OP_LOAD_FP = 0x07
+OP_CUSTOM0 = 0x0B
+OP_MISC_MEM = 0x0F
+OP_OP_IMM = 0x13
+OP_AUIPC = 0x17
+OP_OP_IMM_32 = 0x1B
+OP_STORE = 0x23
+OP_STORE_FP = 0x27
+OP_CUSTOM1 = 0x2B
+OP_AMO = 0x2F
+OP_OP = 0x33
+OP_LUI = 0x37
+OP_OP_32 = 0x3B
+OP_MADD = 0x43
+OP_MSUB = 0x47
+OP_NMSUB = 0x4B
+OP_NMADD = 0x4F
+OP_OP_FP = 0x53
+OP_BRANCH = 0x63
+OP_JALR = 0x67
+OP_JAL = 0x6F
+OP_SYSTEM = 0x73
+
+ALL_MAJOR_OPCODES = (
+    OP_LOAD, OP_LOAD_FP, OP_CUSTOM0, OP_MISC_MEM, OP_OP_IMM, OP_AUIPC,
+    OP_OP_IMM_32, OP_STORE, OP_STORE_FP, OP_CUSTOM1, OP_AMO, OP_OP,
+    OP_LUI, OP_OP_32, OP_MADD, OP_MSUB, OP_NMSUB, OP_NMADD, OP_OP_FP,
+    OP_BRANCH, OP_JALR, OP_JAL, OP_SYSTEM,
+)
+
+# --- funct3 values --------------------------------------------------------
+# Loads (opcode OP_LOAD)
+F3_LB, F3_LH, F3_LW, F3_LD = 0x0, 0x1, 0x2, 0x3
+F3_LBU, F3_LHU, F3_LWU = 0x4, 0x5, 0x6
+# Stores (opcode OP_STORE)
+F3_SB, F3_SH, F3_SW, F3_SD = 0x0, 0x1, 0x2, 0x3
+# Branches (opcode OP_BRANCH)
+F3_BEQ, F3_BNE = 0x0, 0x1
+F3_BLT, F3_BGE, F3_BLTU, F3_BGEU = 0x4, 0x5, 0x6, 0x7
+# OP / OP_IMM arithmetic
+F3_ADD_SUB, F3_SLL, F3_SLT, F3_SLTU = 0x0, 0x1, 0x2, 0x3
+F3_XOR, F3_SRL_SRA, F3_OR, F3_AND = 0x4, 0x5, 0x6, 0x7
+# M extension (funct7 = 0x01 under OP)
+F3_MUL, F3_MULH, F3_MULHSU, F3_MULHU = 0x0, 0x1, 0x2, 0x3
+F3_DIV, F3_DIVU, F3_REM, F3_REMU = 0x4, 0x5, 0x6, 0x7
+
+F7_STANDARD = 0x00
+F7_ALT = 0x20  # SUB / SRA
+F7_MULDIV = 0x01
+
+LOAD_MNEMONICS = {
+    F3_LB: "lb", F3_LH: "lh", F3_LW: "lw", F3_LD: "ld",
+    F3_LBU: "lbu", F3_LHU: "lhu", F3_LWU: "lwu",
+}
+STORE_MNEMONICS = {F3_SB: "sb", F3_SH: "sh", F3_SW: "sw", F3_SD: "sd"}
+BRANCH_MNEMONICS = {
+    F3_BEQ: "beq", F3_BNE: "bne", F3_BLT: "blt",
+    F3_BGE: "bge", F3_BLTU: "bltu", F3_BGEU: "bgeu",
+}
+LOAD_SIZES = {
+    F3_LB: 1, F3_LBU: 1, F3_LH: 2, F3_LHU: 2,
+    F3_LW: 4, F3_LWU: 4, F3_LD: 8,
+}
+STORE_SIZES = {F3_SB: 1, F3_SH: 2, F3_SW: 4, F3_SD: 8}
+
+
+class InstrClass(Enum):
+    """Coarse instruction classes used by the core's FU model and by
+    the trace generator's instruction mixes."""
+
+    INT_ALU = auto()
+    INT_MUL = auto()
+    INT_DIV = auto()
+    FP_ALU = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+    JUMP = auto()        # jal/jalr that are not call/ret (computed jumps)
+    CALL = auto()        # jal/jalr with rd == ra
+    RET = auto()         # jalr x0, 0(ra)
+    CSR = auto()
+    FENCE = auto()
+    CUSTOM = auto()      # custom0/custom1 — FireGuard event markers / ISAX
+    SYSTEM = auto()
+
+
+def classify(opcode: int, funct3: int, rd: int = 0, rs1: int = 0,
+             funct7: int = 0) -> InstrClass:
+    """Classify an instruction from its encoded fields.
+
+    Call/return discrimination follows the RISC-V calling convention
+    hint bits: ``jal ra, ...`` / ``jalr ra, ...`` are calls and
+    ``jalr x0, 0(ra)`` is a return — the same heuristic BOOM's RAS uses.
+    """
+    if opcode in (OP_LOAD, OP_LOAD_FP, OP_AMO):
+        return InstrClass.LOAD
+    if opcode in (OP_STORE, OP_STORE_FP):
+        return InstrClass.STORE
+    if opcode == OP_BRANCH:
+        return InstrClass.BRANCH
+    if opcode == OP_JAL or opcode == OP_JALR:
+        if rd == 1:
+            return InstrClass.CALL
+        if opcode == OP_JALR and rd == 0 and rs1 == 1:
+            return InstrClass.RET
+        return InstrClass.JUMP
+    if opcode == OP_SYSTEM:
+        return InstrClass.CSR if funct3 != 0 else InstrClass.SYSTEM
+    if opcode == OP_MISC_MEM:
+        return InstrClass.FENCE
+    if opcode in (OP_CUSTOM0, OP_CUSTOM1):
+        return InstrClass.CUSTOM
+    if opcode in (OP_OP_FP, OP_MADD, OP_MSUB, OP_NMADD, OP_NMSUB):
+        return InstrClass.FP_ALU
+    if opcode in (OP_OP, OP_OP_32) and funct7 == F7_MULDIV:
+        if funct3 in (F3_DIV, F3_DIVU, F3_REM, F3_REMU):
+            return InstrClass.INT_DIV
+        return InstrClass.INT_MUL
+    return InstrClass.INT_ALU
+
+
+# Classes whose committed results live in the PRF (data-forwarding
+# channel reads them through the preempted PRF read ports, §III-A).
+PRF_RESULT_CLASSES = frozenset({
+    InstrClass.INT_ALU, InstrClass.INT_MUL, InstrClass.INT_DIV,
+    InstrClass.FP_ALU, InstrClass.LOAD, InstrClass.CALL,
+    InstrClass.JUMP, InstrClass.CSR,
+})
+
+# Classes whose debug data comes from the load/store queues.
+LSQ_CLASSES = frozenset({InstrClass.LOAD, InstrClass.STORE})
+
+# Classes whose debug data (targets) comes from the FTQ.
+FTQ_CLASSES = frozenset({
+    InstrClass.BRANCH, InstrClass.JUMP, InstrClass.CALL, InstrClass.RET,
+})

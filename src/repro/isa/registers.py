@@ -1,0 +1,31 @@
+"""RISC-V integer register ABI names."""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+REG_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_NUM = {name: i for i, name in enumerate(REG_ABI_NAMES)}
+_NAME_TO_NUM.update({f"x{i}": i for i in range(32)})
+_NAME_TO_NUM["fp"] = 8  # alias for s0
+
+
+def reg_name(num: int) -> str:
+    """ABI name of register ``num``."""
+    if not 0 <= num < 32:
+        raise EncodingError(f"register number {num} outside [0, 31]")
+    return REG_ABI_NAMES[num]
+
+
+def reg_number(name: str) -> int:
+    """Register number for an ABI or ``xN`` name."""
+    key = name.strip().lower()
+    if key not in _NAME_TO_NUM:
+        raise EncodingError(f"unknown register name {name!r}")
+    return _NAME_TO_NUM[key]

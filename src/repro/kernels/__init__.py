@@ -1,0 +1,38 @@
+"""Guardian kernels: the security checks running on analysis engines.
+
+The paper evaluates four kernels (§IV): a custom performance counter
+with bounds check (PMC), a shadow stack, AddressSanitizer, and a
+MineSweeper-style use-after-free detector.  Each is written in real
+µcore assembly against the ISAX queue instructions, with hardware-
+accelerator variants for PMC and the shadow stack.
+"""
+
+from repro.kernels.asan import AsanKernel
+from repro.kernels.base import GuardianKernel, KernelStrategy
+from repro.kernels.groups import (
+    GROUP_CTRL,
+    GROUP_EVENT,
+    GROUP_MEM,
+    GroupRule,
+    group_rules,
+)
+from repro.kernels.pmc import PmcKernel
+from repro.kernels.registry import KERNELS, make_kernel
+from repro.kernels.shadow_stack import ShadowStackKernel
+from repro.kernels.uaf import UafKernel
+
+__all__ = [
+    "AsanKernel",
+    "GROUP_CTRL",
+    "GROUP_EVENT",
+    "GROUP_MEM",
+    "GroupRule",
+    "GuardianKernel",
+    "KERNELS",
+    "KernelStrategy",
+    "PmcKernel",
+    "ShadowStackKernel",
+    "UafKernel",
+    "group_rules",
+    "make_kernel",
+]

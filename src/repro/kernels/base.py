@@ -1,0 +1,87 @@
+"""Guardian-kernel interface.
+
+A kernel contributes: the instruction groups it consumes, its mapper
+scheduling policy, the µcore program (assembly text, possibly per
+programming-model strategy — Fig 11), per-engine configuration
+registers, and optionally a hardware-accelerator factory.
+
+Register conventions for kernel programs (preset before the run):
+
+====  =====  =====================================================
+reg   ABI    meaning
+====  =====  =====================================================
+x8    s0     shadow-memory base (ASan/UaF)
+x9    s1     config A (PMC: lower bound; SS: shadow region base)
+x18   s2     config B (PMC: upper bound)
+x19   s3     per-engine scratch region base
+x20   s4     number of engines running this kernel
+x22   s6     next engine id (for NoC hand-off rings)
+x24   s8     this engine's position within the kernel's group
+====  =====  =====================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.accelerator import HardwareAccelerator
+from repro.core.msgqueue import MessageQueue
+from repro.core.scheduling import SchedulingPolicy
+from repro.errors import KernelError
+
+SHADOW_BASE = 0x0000_4000_0000_0000
+SCRATCH_BASE = 0x0000_6000_0000_0000
+SCRATCH_STRIDE = 0x0100_0000
+SHADOW_STACK_BASE = 0x0000_5000_0000_0000
+
+
+class KernelStrategy(Enum):
+    """Programming-model strategies (§III-D, Fig 11)."""
+
+    CONVENTIONAL = "conventional"
+    DUFF = "duff"
+    UNROLLED = "unrolled"
+    HYBRID = "hybrid"
+
+
+class GuardianKernel:
+    """Base class; concrete kernels override the class attributes and
+    the program source."""
+
+    name = "kernel"
+    groups: tuple[int, ...] = ()
+    policy = SchedulingPolicy.ROUND_ROBIN
+    block_size = 16           # packets per engine in BLOCK mode
+    has_accelerator = False
+
+    def __init__(self, strategy: KernelStrategy = KernelStrategy.HYBRID):
+        if not self.groups:
+            raise KernelError(f"kernel {self.name}: no instruction groups")
+        self.strategy = strategy
+
+    # -- µcore side ----------------------------------------------------
+    def program_source(self) -> str:
+        """Assembly text of the kernel program."""
+        raise NotImplementedError
+
+    def preset_registers(self, engine_id: int, engine_ids: list[int],
+                         position: int) -> dict[int, int]:
+        """Configuration registers for the engine at ``position`` within
+        this kernel's engine group ``engine_ids``."""
+        nxt = engine_ids[(position + 1) % len(engine_ids)]
+        return {
+            8: SHADOW_BASE,
+            19: SCRATCH_BASE + engine_id * SCRATCH_STRIDE,
+            20: len(engine_ids),
+            22: nxt,
+            24: position,
+        }
+
+    # -- hardware-accelerator variant ------------------------------------
+    def make_accelerator(self, engine_id: int, queue: MessageQueue,
+                         on_alert) -> HardwareAccelerator:
+        raise KernelError(f"kernel {self.name} has no accelerator variant")
+
+    # -- ground truth (used by tests) -----------------------------------
+    def describe(self) -> str:
+        return f"{self.name} ({self.strategy.value}, {self.policy.value})"

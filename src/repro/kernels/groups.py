@@ -1,0 +1,62 @@
+"""Instruction groups: the GID space shared by all kernels.
+
+A mini-filter SRAM entry holds exactly one GID per (opcode, funct3)
+index, so GIDs name *instruction groups*, not kernels; the
+distributor's SE_Bitmap fans a group out to every interested kernel
+(§III-C).  Three groups cover the paper's kernels:
+
+* ``GROUP_MEM``   — loads and stores (PMC, ASan, UaF);
+* ``GROUP_CTRL``  — calls, returns and other jumps (shadow stack);
+* ``GROUP_EVENT`` — allocator events, custom0.f0/f1 (ASan, UaF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DP_FTQ, DP_LSQ, DP_PRF
+from repro.isa import opcodes as op
+
+GROUP_MEM = 1
+GROUP_CTRL = 2
+GROUP_EVENT = 3
+
+
+@dataclass(frozen=True)
+class GroupRule:
+    """Filter programming for one group: which SRAM rows to write."""
+
+    gid: int
+    dp_sel: int
+    # (opcode, funct3) pairs; funct3 None means "all eight rows"
+    # (needed when bits [14:12] are immediate bits, e.g. jal).
+    rows: tuple[tuple[int, int | None], ...]
+
+
+_MEM_ROWS = tuple(
+    [(op.OP_LOAD, f3) for f3 in sorted(op.LOAD_MNEMONICS)]
+    + [(op.OP_STORE, f3) for f3 in sorted(op.STORE_MNEMONICS)]
+)
+
+_CTRL_ROWS = (
+    (op.OP_JAL, None),     # jal: funct3 bits are immediate bits
+    (op.OP_JALR, 0),       # jalr: funct3 is genuinely 0
+)
+
+_EVENT_ROWS = (
+    (op.OP_CUSTOM0, 0),    # allocation marker
+    (op.OP_CUSTOM0, 1),    # free marker
+)
+
+_RULES = {
+    GROUP_MEM: GroupRule(gid=GROUP_MEM, dp_sel=DP_LSQ | DP_PRF,
+                         rows=_MEM_ROWS),
+    GROUP_CTRL: GroupRule(gid=GROUP_CTRL, dp_sel=DP_FTQ, rows=_CTRL_ROWS),
+    GROUP_EVENT: GroupRule(gid=GROUP_EVENT, dp_sel=DP_PRF,
+                           rows=_EVENT_ROWS),
+}
+
+
+def group_rules(gid: int) -> GroupRule:
+    """The filter rule for one instruction group."""
+    return _RULES[gid]

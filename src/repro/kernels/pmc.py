@@ -1,0 +1,159 @@
+"""PMC guardian kernel: custom performance counter with bounds check.
+
+Counts monitored memory events and flags any access outside the fence
+registers [s1, s2).  This is the kernel the paper's programming-model
+study (Fig 11) sweeps, so all four strategies are implemented:
+
+* ``CONVENTIONAL`` — single-iteration loop: count check + pop per
+  packet, consuming each result immediately (maximum hazards);
+* ``DUFF`` — one count check covers a batch of up to four packets
+  (Duff's-device-style dispatch);
+* ``UNROLLED`` — no count checks: blocking pops, with queue reads
+  scheduled away from their uses so no hazard bubbles remain;
+* ``HYBRID`` — count once; full batches take the unrolled path, the
+  tail takes the Duff path.  Uniformly best in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.accelerator import PmcAccelerator
+from repro.core.msgqueue import MessageQueue
+from repro.core.scheduling import SchedulingPolicy
+from repro.kernels.base import GuardianKernel, KernelStrategy
+from repro.kernels.groups import GROUP_MEM
+
+# Bounds registers: s1 = x9 (low), s2 = x18 (high).  The defaults fence
+# the legitimate address space (code/global/heap regions).
+DEFAULT_BOUND_LO = 0x0
+DEFAULT_BOUND_HI = 0x0000_0010_0000_0000
+ALERT_CODE = 2
+
+
+def _naive_body(tag: str) -> str:
+    """One packet processed the conventional way: the pop result is
+    consumed immediately (hazard bubble), the counter updated per
+    packet.  (PMC subscribes only to the memory group, so every packet
+    is a load/store — no class test is needed.)"""
+    return f"""
+    qpop    a1, 128            # accessed address
+    bltu    a1, s1, bad_{tag}  # immediate use of qpop: bubble
+    bgeu    a1, s2, bad_{tag}
+    addi    s5, s5, 1
+    j       done_{tag}
+bad_{tag}:
+    alerti  {ALERT_CODE}
+    addi    s5, s5, 1
+done_{tag}:
+"""
+
+
+def _scheduled_pair(tag: str) -> str:
+    """Two packets with queue reads hoisted ahead of their uses (no
+    hazard bubbles) and the event counter updated once per pair."""
+    return f"""
+    qpop    a2, 128
+    qpop    a3, 128
+    addi    s5, s5, 2
+    bltu    a2, s1, bad0_{tag}
+    bgeu    a2, s2, bad0_{tag}
+chk1_{tag}:
+    bltu    a3, s1, bad1_{tag}
+    bgeu    a3, s2, bad1_{tag}
+    j       done_{tag}
+bad0_{tag}:
+    alerti  {ALERT_CODE}
+    j       chk1_{tag}
+bad1_{tag}:
+    alerti  {ALERT_CODE}
+done_{tag}:
+"""
+
+
+class PmcKernel(GuardianKernel):
+    name = "pmc"
+    groups = (GROUP_MEM,)
+    policy = SchedulingPolicy.ROUND_ROBIN
+    has_accelerator = True
+
+    def __init__(self, strategy: KernelStrategy = KernelStrategy.HYBRID,
+                 bound_lo: int = DEFAULT_BOUND_LO,
+                 bound_hi: int = DEFAULT_BOUND_HI):
+        super().__init__(strategy)
+        self.bound_lo = bound_lo
+        self.bound_hi = bound_hi
+
+    def preset_registers(self, engine_id, engine_ids, position):
+        regs = super().preset_registers(engine_id, engine_ids, position)
+        regs[9] = self.bound_lo    # s1
+        regs[18] = self.bound_hi   # s2
+        return regs
+
+    def make_accelerator(self, engine_id: int, queue: MessageQueue,
+                         on_alert) -> PmcAccelerator:
+        return PmcAccelerator(engine_id, queue, on_alert,
+                              bound_lo=self.bound_lo,
+                              bound_hi=self.bound_hi)
+
+    # -- programming models -------------------------------------------------
+    def program_source(self) -> str:
+        if self.strategy is KernelStrategy.CONVENTIONAL:
+            return self._conventional()
+        if self.strategy is KernelStrategy.DUFF:
+            return self._duff()
+        if self.strategy is KernelStrategy.UNROLLED:
+            return self._unrolled()
+        return self._hybrid()
+
+    def _conventional(self) -> str:
+        return f"""
+# PMC, conventional single-iteration loop (Fig 11 baseline).
+loop:
+    qcount  t0, 0
+    beqz    t0, loop           # immediate use of qcount: bubble
+{_naive_body("c0")}
+    j       loop
+"""
+
+    def _duff(self) -> str:
+        return f"""
+# PMC, Duff's device: one count check per batch of up to 4.
+loop:
+    qcount  t0, 0
+    beqz    t0, loop
+    li      t1, 4
+    bltu    t0, t1, tail
+{_naive_body("d0")}
+{_naive_body("d1")}
+{_naive_body("d2")}
+{_naive_body("d3")}
+    j       loop
+tail:
+{_naive_body("t0")}
+    j       loop
+"""
+
+    def _unrolled(self) -> str:
+        return f"""
+# PMC, pure unrolling: blocking pops scheduled away from uses.
+loop:
+{_scheduled_pair("u0")}
+{_scheduled_pair("u1")}
+    j       loop
+"""
+
+    def _hybrid(self) -> str:
+        return f"""
+# PMC, hybrid: unrolled batches when the queue is full enough,
+# Duff-style tail otherwise (uniformly best — Fig 11).
+loop:
+    qcount  t0, 0
+    beqz    t0, loop
+    li      t1, 4
+    bltu    t0, t1, tail
+{_scheduled_pair("h0")}
+{_scheduled_pair("h1")}
+    j       loop
+tail:
+{_naive_body("ht")}
+    j       loop
+"""

@@ -1,0 +1,27 @@
+"""Kernel registry: name → class, for experiment harnesses and CLIs."""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.asan import AsanKernel
+from repro.kernels.base import GuardianKernel, KernelStrategy
+from repro.kernels.pmc import PmcKernel
+from repro.kernels.shadow_stack import ShadowStackKernel
+from repro.kernels.uaf import UafKernel
+
+KERNELS: dict[str, type[GuardianKernel]] = {
+    "pmc": PmcKernel,
+    "shadow_stack": ShadowStackKernel,
+    "asan": AsanKernel,
+    "uaf": UafKernel,
+}
+
+
+def make_kernel(name: str,
+                strategy: KernelStrategy = KernelStrategy.HYBRID,
+                **kwargs) -> GuardianKernel:
+    """Instantiate a kernel by name."""
+    if name not in KERNELS:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}")
+    return KERNELS[name](strategy=strategy, **kwargs)

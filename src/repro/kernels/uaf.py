@@ -1,0 +1,187 @@
+"""Use-after-free guardian kernel (§IV: MineSweeper-based).
+
+Follows MineSweeper's quarantine discipline: freed regions are
+quarantined — recorded in a per-engine ring, their shadow poisoned
+only after the free has aged past the engines' in-flight window, and
+released (shadow cleared) once the ring cycles.  Loads and stores
+check the quarantine shadow byte.
+
+The deferred poisoning matters for precision: checking is
+asynchronous and distributed, so an access committed just *before* a
+free could be checked just *after* the poisoning landed; ageing the
+free past the worst-case engine skew removes those false alarms, at
+the cost of a short detection blind spot right after each free —
+exactly the trade MineSweeper's quarantine makes.
+
+The quarantine bookkeeping (ring maintenance, poison and release
+sweeps) is per-free serial work that more µcores cannot parallelise
+away — the reason dedup's UaF overhead stays flat in Fig 10(d).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduling import SchedulingPolicy
+from repro.kernels.base import GuardianKernel, KernelStrategy
+from repro.kernels.groups import GROUP_EVENT, GROUP_MEM
+
+ALERT_CODE = 4
+QUARANTINE_POISON = 0xFD
+QUARANTINE_POISON_WIDE = 0xFDFDFDFDFDFDFDFD
+RING_ENTRIES = 64   # (base, size) pairs per engine before release
+FREE_DELAY_PACKETS = 48
+
+
+class UafKernel(GuardianKernel):
+    name = "uaf"
+    groups = (GROUP_MEM, GROUP_EVENT)
+    policy = SchedulingPolicy.ROUND_ROBIN
+
+    # Own shadow region: when combined with ASan (Fig 7(b)) the two
+    # kernels must not fight over poison bytes.
+    SHADOW_OFFSET = 0x0800_0000_0000
+
+    def __init__(self, strategy: KernelStrategy = KernelStrategy.HYBRID):
+        super().__init__(strategy)
+
+    def preset_registers(self, engine_id, engine_ids, position):
+        regs = super().preset_registers(engine_id, engine_ids, position)
+        regs[8] = regs[8] + self.SHADOW_OFFSET
+        return regs
+
+    def program_source(self) -> str:
+        # s0 = shadow base; s3 = per-engine scratch (quarantine ring:
+        # slot i at s3 + i*16 holds (base, size)); s7 = ring cursor;
+        # s9 = packets since last free; s10/s11 = pending free.
+        return f"""
+# Use-after-free detection with MineSweeper-style quarantine.
+# Hot path hand-scheduled as §III-D advocates (see the ASan kernel).
+init:
+    li      s7, 0
+    li      s10, 0
+    li      s6, {QUARANTINE_POISON}
+    li      s9, 1000000        # deferred-poison countdown: idle value
+loop:
+    qpop    a0, 0              # meta word
+    qrecent a1, 128            # address, hoisted ahead of use
+    addi    s9, s9, -1
+    andi    t0, a0, 3          # load|store
+    srli    t1, a1, 4
+    add     t1, t1, s0
+    beqz    s9, age            # pending free has aged: quarantine it
+resume:
+    beqz    t0, slow
+    lbu     t2, 0(t1)
+    bne     t2, s6, loop       # not quarantined: next packet
+bad:
+    qrecent a2, 64             # PC only fetched on a hit
+    alerti  {ALERT_CODE}
+    j       loop
+
+age:
+    li      s9, 1000000
+    beqz    s10, resume
+    jal     ra, flush_free
+    andi    t0, a0, 3          # flush clobbered the temporaries
+    srli    t1, a1, 4
+    add     t1, t1, s0
+    j       resume
+
+slow:
+    andi    t0, a0, 32         # free
+    bnez    t0, do_free
+    andi    t0, a0, 16         # alloc
+    bnez    t0, do_alloc
+    j       loop
+
+do_alloc:
+    # Bump allocation never reuses quarantined memory; clear the body
+    # in case of shadow aliasing (wide stores).
+    qrecent a1, 128
+    qrecent a2, 192
+    srli    t1, a1, 4
+    add     t1, t1, s0
+    srli    t5, a2, 4
+    srli    t6, t5, 3
+    andi    t5, t5, 7
+al_wide:
+    beqz    t6, al_tail
+    sd      zero, 0(t1)
+    addi    t1, t1, 8
+    addi    t6, t6, -1
+    j       al_wide
+al_tail:
+    beqz    t5, loop
+    sb      zero, 0(t1)
+    addi    t1, t1, 1
+    addi    t5, t5, -1
+    j       al_tail
+
+do_free:
+    beqz    s10, stash
+    jal     ra, flush_free     # age out the previous free first
+stash:
+    qrecent s10, 128
+    qrecent s11, 192
+    li      s9, {FREE_DELAY_PACKETS}
+    j       loop
+
+# flush_free: quarantine the pending region — release the ring slot
+# being overwritten (unpoison the oldest quarantined region), record
+# the pending (base, size), and poison its shadow.  Returns via ra.
+flush_free:
+    # 1. Release the slot we are about to overwrite.
+    slli    t0, s7, 4
+    add     t0, t0, s3
+    ld      t1, 0(t0)          # old base (0 = slot unused)
+    beqz    t1, record
+    ld      t2, 8(t0)          # old size
+    srli    t1, t1, 4
+    add     t1, t1, s0
+    srli    t2, t2, 4
+    srli    t6, t2, 3
+    andi    t2, t2, 7
+rl_wide:
+    beqz    t6, rl_tail
+    sd      zero, 0(t1)
+    addi    t1, t1, 8
+    addi    t6, t6, -1
+    j       rl_wide
+rl_tail:
+    beqz    t2, record
+    sb      zero, 0(t1)
+    addi    t1, t1, 1
+    addi    t2, t2, -1
+    j       rl_tail
+record:
+    # 2. Record the pending region in the ring.
+    sd      s10, 0(t0)
+    sd      s11, 8(t0)
+    addi    s7, s7, 1
+    li      t1, {RING_ENTRIES}
+    blt     s7, t1, poison_pending
+    li      s7, 0
+poison_pending:
+    # 3. Poison the pending region's shadow (wide stores).
+    srli    t1, s10, 4
+    add     t1, t1, s0
+    srli    t5, s11, 4
+    srli    t6, t5, 3
+    andi    t5, t5, 7
+    li      t4, {QUARANTINE_POISON_WIDE}
+    li      t3, {QUARANTINE_POISON}
+po_wide:
+    beqz    t6, po_tail
+    sd      t4, 0(t1)
+    addi    t1, t1, 8
+    addi    t6, t6, -1
+    j       po_wide
+po_tail:
+    beqz    t5, po_done
+    sb      t3, 0(t1)
+    addi    t1, t1, 1
+    addi    t5, t5, -1
+    j       po_tail
+po_done:
+    li      s10, 0
+    ret
+"""

@@ -1,0 +1,20 @@
+"""Memory substrate: caches with MSHRs, TLBs, DRAM, sparse memory."""
+
+from repro.mem.cache import CacheParams, SetAssocCache
+from repro.mem.dram import DramModel, DramParams
+from repro.mem.hierarchy import AccessResult, HierarchyParams, MemoryHierarchy
+from repro.mem.sparse import SparseMemory
+from repro.mem.tlb import Tlb, TlbParams
+
+__all__ = [
+    "AccessResult",
+    "CacheParams",
+    "DramModel",
+    "DramParams",
+    "HierarchyParams",
+    "MemoryHierarchy",
+    "SetAssocCache",
+    "SparseMemory",
+    "Tlb",
+    "TlbParams",
+]

@@ -1,0 +1,55 @@
+"""Sparse byte-addressable memory for the µcore ISS.
+
+Guardian kernels keep shadow memory, quarantine lists and shadow stacks
+in (shared) memory; a dict-backed sparse store gives a full 64-bit
+address space without allocation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+_MASK64 = (1 << 64) - 1
+
+
+class SparseMemory:
+    """Byte-granular sparse memory; unwritten bytes read as zero."""
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, int] = {}
+
+    def load(self, addr: int, size: int) -> int:
+        """Little-endian unsigned load of ``size`` bytes."""
+        if size not in (1, 2, 4, 8):
+            raise SimulationError(f"unsupported load size {size}")
+        data = self._bytes
+        value = 0
+        for i in range(size):
+            value |= data.get((addr + i) & _MASK64, 0) << (8 * i)
+        return value
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        """Little-endian store of the low ``size`` bytes of ``value``."""
+        if size not in (1, 2, 4, 8):
+            raise SimulationError(f"unsupported store size {size}")
+        data = self._bytes
+        for i in range(size):
+            data[(addr + i) & _MASK64] = (value >> (8 * i)) & 0xFF
+
+    def load_signed(self, addr: int, size: int) -> int:
+        raw = self.load(addr, size)
+        sign_bit = 1 << (size * 8 - 1)
+        return (raw ^ sign_bit) - sign_bit
+
+    def fill(self, addr: int, value: int, length: int) -> None:
+        """Set ``length`` bytes starting at ``addr`` to ``value``."""
+        byte = value & 0xFF
+        data = self._bytes
+        for i in range(length):
+            data[(addr + i) & _MASK64] = byte
+
+    def footprint(self) -> int:
+        """Number of bytes ever written (for tests/diagnostics)."""
+        return len(self._bytes)

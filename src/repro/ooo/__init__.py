@@ -1,0 +1,19 @@
+"""Main out-of-order core timing model (4-wide SonicBOOM, Table II)."""
+
+from repro.ooo.core import CoreResult, MainCore
+from repro.ooo.issue import FunctionalUnitPool, FuParams
+from repro.ooo.lsq import LoadStoreQueues
+from repro.ooo.params import CoreParams
+from repro.ooo.prf import PhysicalRegisterFile
+from repro.ooo.rob import ReorderBuffer
+
+__all__ = [
+    "CoreParams",
+    "CoreResult",
+    "FunctionalUnitPool",
+    "FuParams",
+    "LoadStoreQueues",
+    "MainCore",
+    "PhysicalRegisterFile",
+    "ReorderBuffer",
+]

@@ -1,0 +1,315 @@
+"""The main OoO core's cycle-stepped timing model.
+
+This is a trace-driven model of a 4-wide SonicBOOM: instructions are
+scheduled at dispatch (completion time = operand readiness + functional
+unit + memory latency), held in the ROB, and committed in order up to
+the commit width.  The model exists to reproduce the phenomena
+FireGuard's evaluation measures:
+
+* commit back-pressure when the event filter's FIFOs fill (§IV-C),
+* PRF read-port contention when the forwarding channel preempts a
+  port (§III-A),
+* front-end redirects from the TAGE/BTB/RAS predictor,
+* cache/TLB miss latency through the Table II hierarchy.
+
+A ``CommitObserver`` (FireGuard's frontend) may veto commit in a given
+lane — that is exactly the paper's back-pressure mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.branch.predictor import FrontEndPredictor
+from repro.errors import SimulationError
+from repro.isa.opcodes import InstrClass
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.ooo.issue import FunctionalUnitPool, FuParams
+from repro.ooo.lsq import LoadStoreQueues
+from repro.ooo.params import CoreParams
+from repro.ooo.prf import PhysicalRegisterFile
+from repro.ooo.rob import ReorderBuffer
+from repro.trace.record import InstrRecord, Trace
+
+
+class CommitObserver(Protocol):
+    """FireGuard's hook into the commit stage."""
+
+    def offer(self, record: InstrRecord, lane: int, cycle: int) -> bool:
+        """Observe a committing instruction.  Returning False stalls
+        commit (the filter FIFO for this lane is full)."""
+        ...
+
+    @property
+    def lanes(self) -> int:
+        """Number of commit lanes the observer can watch per cycle
+        (the event-filter width; Fig 9 sweeps 1/2/4)."""
+        ...
+
+
+@dataclass
+class CoreResult:
+    """Timing outcome of one run."""
+
+    cycles: int
+    committed: int
+    stall_backpressure: int = 0
+    stall_rob_full: int = 0
+    stall_lsq_full: int = 0
+    stall_fetch: int = 0
+    stall_fetch_redirect: int = 0
+    stall_fetch_icache: int = 0
+    mispredicts: int = 0
+    commit_times: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+class MainCore:
+    """Cycle-stepped trace-driven OoO core."""
+
+    _LINE_SHIFT = 6
+
+    def __init__(self, params: CoreParams | None = None,
+                 hierarchy: MemoryHierarchy | None = None,
+                 predictor: FrontEndPredictor | None = None):
+        self.params = params or CoreParams()
+        self.hierarchy = hierarchy or MemoryHierarchy(self.params.hierarchy)
+        self.predictor = predictor or FrontEndPredictor(self.params.predictor)
+        self.rob = ReorderBuffer(self.params.rob_entries)
+        self.lsq = LoadStoreQueues(self.params.ldq_entries,
+                                   self.params.stq_entries)
+        self.prf = PhysicalRegisterFile(self.params.prf_read_ports,
+                                        self.params.phys_regs)
+        self.fu_pool = self._build_fu_pool()
+        self._observer: CommitObserver | None = None
+
+        self._trace: list[InstrRecord] = []
+        self._next_dispatch = 0
+        self._reg_ready: dict[int, int] = {}
+        self._fetch_stall_until = 0
+        self._last_fetch_line = -1
+        self._in_flight = 0
+        self.result = CoreResult(cycles=0, committed=0)
+        self._record_commit_times = False
+
+    def _build_fu_pool(self) -> FunctionalUnitPool:
+        p = self.params
+        units = {
+            "int": FuParams(count=p.n_int_alu, latency=p.lat_int_alu),
+            "fp": FuParams(count=p.n_fp_muldiv, latency=p.lat_fp),
+            "mul": FuParams(count=p.n_fp_muldiv, latency=p.lat_mul),
+            "div": FuParams(count=p.n_fp_muldiv, latency=p.lat_div,
+                            initiation_interval=p.lat_div),
+            "mem": FuParams(count=p.n_mem, latency=1),
+            "jump": FuParams(count=p.n_jump, latency=p.lat_jump),
+            "csr": FuParams(count=p.n_csr, latency=p.lat_csr),
+        }
+        class_map = {
+            InstrClass.INT_ALU: "int",
+            InstrClass.INT_MUL: "mul",
+            InstrClass.INT_DIV: "div",
+            InstrClass.FP_ALU: "fp",
+            InstrClass.LOAD: "mem",
+            InstrClass.STORE: "mem",
+            InstrClass.BRANCH: "jump",
+            InstrClass.JUMP: "jump",
+            InstrClass.CALL: "jump",
+            InstrClass.RET: "jump",
+            InstrClass.CSR: "csr",
+            InstrClass.FENCE: "int",
+            InstrClass.CUSTOM: "int",
+            InstrClass.SYSTEM: "csr",
+        }
+        return FunctionalUnitPool(units, class_map)
+
+    # -- wiring ---------------------------------------------------------
+    def attach_observer(self, observer: CommitObserver) -> None:
+        """Attach FireGuard's commit-stage observer."""
+        self._observer = observer
+
+    # -- run control ------------------------------------------------------
+    DEFAULT_WARMUP = 4000
+
+    def begin(self, trace: Trace, record_commit_times: bool = False,
+              warmup_records: int | None = None) -> None:
+        """Reset run state and start consuming ``trace``.
+
+        A warm-up pass first touches the caches, TLBs and branch
+        predictor with a prefix of the trace (functional only, no
+        timing): short traces otherwise measure compulsory misses
+        instead of steady state.  Baseline and monitored runs warm
+        identically, so slowdown ratios are unaffected.
+        """
+        if warmup_records is None:
+            warmup_records = min(self.DEFAULT_WARMUP,
+                                 len(trace.records) // 2)
+        self._warm_up(trace, warmup_records)
+        self._trace = trace.records
+        self._next_dispatch = 0
+        self._reg_ready = {}
+        self._fetch_stall_until = 0
+        self._last_fetch_line = -1
+        self._in_flight = 0
+        self._stall_reason_redirect = False
+        self.result = CoreResult(cycles=0, committed=0)
+        self._record_commit_times = record_commit_times
+
+    def _warm_up(self, trace: Trace, count: int) -> None:
+        last_line = -1
+        for record in trace.records[:count]:
+            line = record.pc >> self._LINE_SHIFT
+            if line != last_line:
+                self.hierarchy.access_instr(record.pc, 0)
+                last_line = line
+            if record.mem_addr is not None:
+                self.hierarchy.access_data(record.mem_addr, 0)
+            if record.is_ctrl:
+                self.predictor.predict_and_train(
+                    record.iclass, record.pc, record.taken, record.target)
+        # The structurally warm set is L2/LLC-resident at steady state;
+        # fill those levels (not the L1 — it holds only the hot set).
+        if trace.warm_end > trace.global_base:
+            addr = trace.global_base
+            while addr < trace.warm_end:
+                self.hierarchy.l2.prefill(addr)
+                self.hierarchy.llc.prefill(addr)
+                addr += 64
+
+    @property
+    def done(self) -> bool:
+        return self._next_dispatch >= len(self._trace) and self.rob.empty
+
+    def step(self, cycle: int) -> None:
+        """Advance one core cycle: commit, then dispatch."""
+        self._commit(cycle)
+        self._dispatch(cycle)
+        self.result.cycles = cycle + 1
+
+    def run_standalone(self, trace: Trace,
+                       max_cycles: int = 50_000_000) -> CoreResult:
+        """Run a trace to completion without FireGuard attached."""
+        self.begin(trace)
+        cycle = 0
+        while not self.done:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"core did not finish within {max_cycles} cycles")
+            self.step(cycle)
+            cycle += 1
+        return self.result
+
+    # -- commit ----------------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        observer = self._observer
+        width = self.params.width
+        if observer is not None:
+            # A filter narrower than the core bounds commits per cycle
+            # (Fig 9's 1- and 2-wide configurations).
+            width = min(width, observer.lanes)
+        committed = 0
+        while committed < width:
+            head = self.rob.head()
+            if head is None or head.completion > cycle:
+                break
+            if observer is not None and not observer.offer(
+                    head.record, committed, cycle):
+                self.result.stall_backpressure += 1
+                break
+            entry = self.rob.commit_head()
+            self.lsq.commit(entry.record.iclass)
+            self._in_flight -= 1
+            self.result.committed += 1
+            if self._record_commit_times and entry.record.attack_id is not None:
+                self.result.commit_times[entry.record.attack_id] = cycle
+            committed += 1
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, cycle: int) -> None:
+        if cycle < self._fetch_stall_until:
+            self.result.stall_fetch += 1
+            if self._stall_reason_redirect:
+                self.result.stall_fetch_redirect += 1
+            else:
+                self.result.stall_fetch_icache += 1
+            return
+        trace = self._trace
+        for _ in range(self.params.width):
+            if self._next_dispatch >= len(trace):
+                return
+            if self.rob.full:
+                self.result.stall_rob_full += 1
+                return
+            record = trace[self._next_dispatch]
+            if not self.lsq.can_dispatch(record.iclass):
+                self.result.stall_lsq_full += 1
+                return
+
+            self._fetch_line(record.pc, cycle)
+            completion = self._schedule(record, cycle)
+            self.rob.dispatch(record, completion)
+            self.lsq.dispatch(record.iclass)
+            self._in_flight += 1
+            self._next_dispatch += 1
+
+            if record.is_ctrl:
+                mispredicted = self.predictor.predict_and_train(
+                    record.iclass, record.pc, record.taken, record.target)
+                if mispredicted:
+                    self.result.mispredicts += 1
+                    self._fetch_stall_until = (
+                        completion + self.params.redirect_penalty)
+                    self._stall_reason_redirect = True
+                    return  # redirect ends this dispatch group
+
+    def _fetch_line(self, pc: int, cycle: int) -> None:
+        line = pc >> self._LINE_SHIFT
+        if line == self._last_fetch_line:
+            return
+        sequential = line == self._last_fetch_line + 1
+        self._last_fetch_line = line
+        access = self.hierarchy.access_instr(pc, cycle)
+        hit_latency = self.hierarchy.params.l1i.hit_latency
+        if access.latency > hit_latency and not sequential:
+            # Discontinuous fetch to a missing line stalls the front
+            # end; sequential misses are hidden by next-line prefetch.
+            new_stall = cycle + access.latency - hit_latency
+            if new_stall > self._fetch_stall_until:
+                self._fetch_stall_until = new_stall
+                self._stall_reason_redirect = False
+
+    def _schedule(self, record: InstrRecord, cycle: int) -> int:
+        """Compute the completion cycle of a dispatched instruction."""
+        ready = cycle + 1
+        reg_ready = self._reg_ready
+        for src in record.srcs:
+            if src:  # x0 is always ready
+                src_ready = reg_ready.get(src)
+                if src_ready is not None and src_ready > ready:
+                    ready = src_ready
+
+        # PRF read ports (shared with the forwarding channel).
+        ready = self.prf.acquire_read_ports(ready, len(record.srcs))
+        issue = self.fu_pool.acquire(record.iclass, ready)
+
+        iclass = record.iclass
+        if iclass is InstrClass.LOAD:
+            access = self.hierarchy.access_data(record.mem_addr, issue)
+            latency = access.latency
+        elif iclass is InstrClass.STORE:
+            # Store data is written back at commit; address translation
+            # happens at issue.  Charge translation only.
+            latency = self.params.lat_store
+            latency += self.hierarchy.dtlb.translate(record.mem_addr)
+            self.hierarchy.l1d.lookup(
+                record.mem_addr, issue, self.hierarchy.params.l2.hit_latency)
+        else:
+            latency = self.fu_pool.latency(iclass)
+
+        completion = issue + latency
+        if record.dst:
+            reg_ready[record.dst] = completion
+        return completion

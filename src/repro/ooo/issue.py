@@ -1,0 +1,56 @@
+"""Functional-unit pool: issue bandwidth and structural hazards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import InstrClass
+
+
+@dataclass(frozen=True)
+class FuParams:
+    """Counts and latencies for one unit type."""
+
+    count: int
+    latency: int
+    initiation_interval: int = 1  # cycles between issues to one unit
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.latency <= 0:
+            raise ConfigError("FU count and latency must be positive")
+        if self.initiation_interval <= 0:
+            raise ConfigError("FU initiation interval must be positive")
+
+
+class FunctionalUnitPool:
+    """Greedy earliest-free unit selection per instruction class."""
+
+    def __init__(self, units: dict[str, FuParams],
+                 class_map: dict[InstrClass, str]):
+        self._params = units
+        self._class_map = class_map
+        self._next_free: dict[str, list[int]] = {
+            name: [0] * p.count for name, p in units.items()
+        }
+        self.stat_structural_waits = 0
+
+    def unit_for(self, iclass: InstrClass) -> str:
+        name = self._class_map.get(iclass)
+        if name is None:
+            raise ConfigError(f"no functional unit mapped for {iclass}")
+        return name
+
+    def latency(self, iclass: InstrClass) -> int:
+        return self._params[self.unit_for(iclass)].latency
+
+    def acquire(self, iclass: InstrClass, earliest: int) -> int:
+        """Claim a unit at or after ``earliest``; return the issue cycle."""
+        name = self.unit_for(iclass)
+        frees = self._next_free[name]
+        best = min(range(len(frees)), key=frees.__getitem__)
+        issue = max(earliest, frees[best])
+        if issue > earliest:
+            self.stat_structural_waits += issue - earliest
+        frees[best] = issue + self._params[name].initiation_interval
+        return issue

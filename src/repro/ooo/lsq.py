@@ -1,0 +1,51 @@
+"""Load/store queue occupancy model (Table II: 32-entry LDQ/STQ)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.opcodes import InstrClass
+
+
+class LoadStoreQueues:
+    """Tracks LDQ/STQ occupancy; entries free at commit.
+
+    The tops of these queues hold the most recently retired memory
+    addresses — FireGuard's bypass circuits read them contention-free
+    (§III-A footnote 3) — so this model also remembers the last
+    committed load/store/jump data for the forwarding channel.
+    """
+
+    def __init__(self, ldq_entries: int, stq_entries: int):
+        if ldq_entries <= 0 or stq_entries <= 0:
+            raise ConfigError("LDQ/STQ need at least one entry each")
+        self.ldq_capacity = ldq_entries
+        self.stq_capacity = stq_entries
+        self.ldq_count = 0
+        self.stq_count = 0
+
+    def can_dispatch(self, iclass: InstrClass) -> bool:
+        if iclass is InstrClass.LOAD:
+            return self.ldq_count < self.ldq_capacity
+        if iclass is InstrClass.STORE:
+            return self.stq_count < self.stq_capacity
+        return True
+
+    def dispatch(self, iclass: InstrClass) -> None:
+        if iclass is InstrClass.LOAD:
+            if self.ldq_count >= self.ldq_capacity:
+                raise SimulationError("dispatch into full LDQ")
+            self.ldq_count += 1
+        elif iclass is InstrClass.STORE:
+            if self.stq_count >= self.stq_capacity:
+                raise SimulationError("dispatch into full STQ")
+            self.stq_count += 1
+
+    def commit(self, iclass: InstrClass) -> None:
+        if iclass is InstrClass.LOAD:
+            if self.ldq_count <= 0:
+                raise SimulationError("commit load with empty LDQ")
+            self.ldq_count -= 1
+        elif iclass is InstrClass.STORE:
+            if self.stq_count <= 0:
+                raise SimulationError("commit store with empty STQ")
+            self.stq_count -= 1

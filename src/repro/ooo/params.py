@@ -1,0 +1,53 @@
+"""Main-core configuration (Table II, "Main core" rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.predictor import PredictorParams
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyParams
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """4-wide out-of-order SonicBOOM at 3.2 GHz (Table II defaults)."""
+
+    width: int = 4                  # fetch/dispatch/commit width
+    rob_entries: int = 128
+    issue_queue_entries: int = 96
+    ldq_entries: int = 32
+    stq_entries: int = 32
+    phys_regs: int = 128
+    prf_read_ports: int = 8
+    redirect_penalty: int = 12      # front-end refill after mispredict
+    freq_ghz: float = 3.2
+    predictor: PredictorParams = field(default_factory=PredictorParams)
+    hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
+
+    # Execution latencies (cycles).
+    lat_int_alu: int = 1
+    lat_mul: int = 3
+    lat_div: int = 12
+    lat_fp: int = 4
+    lat_jump: int = 1
+    lat_csr: int = 3
+    lat_store: int = 1
+
+    # Functional unit counts (Table II: 2 Int ALUs, 1 FP/Mul/Div,
+    # 2 MEM, 1 Jump, 1 CSR).
+    n_int_alu: int = 2
+    n_fp_muldiv: int = 1
+    n_mem: int = 2
+    n_jump: int = 1
+    n_csr: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigError("core width must be positive")
+        if self.rob_entries < self.width:
+            raise ConfigError("ROB must hold at least one dispatch group")
+        if self.prf_read_ports < 2:
+            raise ConfigError("PRF needs at least two read ports")
+        if self.redirect_penalty < 0:
+            raise ConfigError("redirect penalty cannot be negative")

@@ -1,0 +1,61 @@
+"""Physical register file read-port model with filter preemption.
+
+§III-A: the PRF read controllers are statically multiplexed between the
+issue queues and the mini-filters; Mini-Filter[x] has *priority* access
+to Read_Ctrl[x], so an instruction that wanted the same port that cycle
+slips to the next cycle.  This model tracks per-cycle port usage by
+issuing instructions and per-cycle preemptions by the data-forwarding
+channel, and makes issue wait when the remaining ports are insufficient.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigError
+
+
+class PhysicalRegisterFile:
+    def __init__(self, read_ports: int, phys_regs: int = 128):
+        if read_ports <= 0:
+            raise ConfigError("PRF needs at least one read port")
+        self.read_ports = read_ports
+        self.phys_regs = phys_regs
+        self._used: defaultdict[int, int] = defaultdict(int)
+        self._preempted: defaultdict[int, int] = defaultdict(int)
+        self.stat_preemptions = 0
+        self.stat_contention_slips = 0
+        self._prune_mark = 0
+
+    def preempt_port(self, cycle: int, count: int = 1) -> None:
+        """The forwarding channel takes ``count`` ports at ``cycle``
+        (one per PRF-selected packet — Fig 2 step c)."""
+        self._preempted[cycle] += count
+        self.stat_preemptions += count
+
+    def acquire_read_ports(self, cycle: int, count: int) -> int:
+        """Find the first cycle >= ``cycle`` with ``count`` free ports,
+        claim them, and return that cycle."""
+        if count <= 0:
+            return cycle
+        count = min(count, self.read_ports)
+        t = cycle
+        while (self._used[t] + self._preempted[t] + count
+               > self.read_ports):
+            t += 1
+        if t != cycle:
+            self.stat_contention_slips += t - cycle
+        self._used[t] += count
+        self._maybe_prune(t)
+        return t
+
+    def _maybe_prune(self, cycle: int) -> None:
+        # Bound the dicts: drop accounting older than ~1k cycles.
+        if cycle - self._prune_mark < 4096:
+            return
+        horizon = cycle - 1024
+        for table in (self._used, self._preempted):
+            stale = [c for c in table if c < horizon]
+            for c in stale:
+                del table[c]
+        self._prune_mark = cycle

@@ -1,0 +1,53 @@
+"""Reorder buffer: in-order commit window over out-of-order completion."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError, SimulationError
+from repro.trace.record import InstrRecord
+
+
+class RobEntry:
+    __slots__ = ("record", "completion")
+
+    def __init__(self, record: InstrRecord, completion: int):
+        self.record = record
+        self.completion = completion
+
+
+class ReorderBuffer:
+    """Fixed-capacity FIFO of in-flight instructions."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ConfigError("ROB needs at least one entry")
+        self.capacity = entries
+        self._entries: deque[RobEntry] = deque()
+        self.stat_peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def dispatch(self, record: InstrRecord, completion: int) -> None:
+        if self.full:
+            raise SimulationError("dispatch into full ROB")
+        self._entries.append(RobEntry(record, completion))
+        if len(self._entries) > self.stat_peak_occupancy:
+            self.stat_peak_occupancy = len(self._entries)
+
+    def head(self) -> RobEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def commit_head(self) -> RobEntry:
+        if not self._entries:
+            raise SimulationError("commit from empty ROB")
+        return self._entries.popleft()

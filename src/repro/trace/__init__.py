@@ -1,0 +1,30 @@
+"""Workload substrate: synthetic PARSEC-profile traces and attacks.
+
+The paper runs PARSEC (simmedium) on Linux/FireSim.  Neither PARSEC nor
+an FPGA exists here, so traces are generated synthetically from
+per-benchmark instruction-mix profiles calibrated to published PARSEC
+characterisation data (see DESIGN.md's substitution table).
+"""
+
+from repro.trace.attacks import AttackKind, AttackSite, inject_attacks
+from repro.trace.generator import TraceGenerator, generate_trace
+from repro.trace.profiles import (
+    PARSEC_BENCHMARKS,
+    PARSEC_PROFILES,
+    WorkloadProfile,
+)
+from repro.trace.record import HeapObject, InstrRecord, Trace
+
+__all__ = [
+    "AttackKind",
+    "AttackSite",
+    "HeapObject",
+    "InstrRecord",
+    "PARSEC_BENCHMARKS",
+    "PARSEC_PROFILES",
+    "Trace",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "generate_trace",
+    "inject_attacks",
+]

@@ -1,0 +1,232 @@
+"""Attack injection (§IV-B).
+
+The paper injects 50–100 erroneous inputs per workload — hijacked jump
+targets, accesses to freed memory, out-of-bounds accesses — and
+measures how long each guardian kernel takes to flag them.  The
+injector mutates selected records of a generated trace the same way:
+the *architectural* outcome changes (a return target, a memory
+address), and the kernels must notice semantically.  Records are
+tagged with an ``attack_id`` purely for measurement bookkeeping; the
+kernels never see the tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import TraceError
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import Trace
+
+HIJACK_BASE = 0x0000_00DE_AD00_0000
+OUTSIDE_BOUNDS_BASE = 0x0000_F000_0000_0000
+
+
+class AttackKind(Enum):
+    """One injection kind per guardian kernel."""
+
+    RET_HIJACK = auto()     # shadow stack: return target != pushed address
+    OOB_ACCESS = auto()     # AddressSanitizer: access in a redzone
+    UAF_ACCESS = auto()     # UaF detector: access to quarantined region
+    PMC_BOUND = auto()      # PMC bounds check: access outside fence
+
+
+@dataclass(frozen=True)
+class AttackSite:
+    """One injected attack: where it is and what it became."""
+
+    attack_id: int
+    seq: int
+    kind: AttackKind
+    detail: str = ""
+
+
+def _spaced_choices(candidates: list[int], count: int,
+                    trace_len: int) -> list[int]:
+    """Pick ``count`` candidate indices spread across the trace, so the
+    latency sample is not clustered in one warm/cold phase."""
+    if not candidates:
+        return []
+    if len(candidates) <= count:
+        return list(candidates)
+    stride = len(candidates) / count
+    return [candidates[int(i * stride)] for i in range(count)]
+
+
+def inject_attacks(trace: Trace, kind: AttackKind, count: int,
+                   pmc_bounds: tuple[int, int] | None = None,
+                   min_seq: int = 256) -> list[AttackSite]:
+    """Mutate ``trace`` in place, injecting ``count`` attacks of ``kind``.
+
+    Returns the attack sites (for latency attribution).  ``min_seq``
+    skips the trace's warm-up prefix, like the paper's steady-state
+    injection.
+    """
+    if count <= 0:
+        raise TraceError(f"attack count must be positive, got {count}")
+    records = trace.records
+
+    if kind is AttackKind.RET_HIJACK:
+        candidates = [i for i, r in enumerate(records)
+                      if r.iclass is InstrClass.RET and r.seq >= min_seq]
+        chosen = _spaced_choices(candidates, count, len(records))
+        sites = []
+        for attack_id, idx in enumerate(chosen):
+            rec = records[idx]
+            rec.target = HIJACK_BASE + attack_id * 0x40
+            rec.attack_id = attack_id
+            sites.append(AttackSite(attack_id, rec.seq, kind,
+                                    f"target={rec.target:#x}"))
+        return sites
+
+    if kind is AttackKind.OOB_ACCESS:
+        return _inject_oob(trace, count, min_seq)
+
+    if kind is AttackKind.UAF_ACCESS:
+        return _inject_uaf(trace, count, min_seq)
+
+    if kind is AttackKind.PMC_BOUND:
+        if pmc_bounds is None:
+            raise TraceError("PMC_BOUND injection needs pmc_bounds")
+        lo, hi = pmc_bounds
+        candidates = [i for i, r in enumerate(records)
+                      if r.is_mem and r.seq >= min_seq]
+        chosen = _spaced_choices(candidates, count, len(records))
+        sites = []
+        for attack_id, idx in enumerate(chosen):
+            rec = records[idx]
+            rec.mem_addr = OUTSIDE_BOUNDS_BASE + attack_id * 0x1000
+            assert not lo <= rec.mem_addr < hi
+            rec.attack_id = attack_id
+            sites.append(AttackSite(attack_id, rec.seq, kind,
+                                    f"addr={rec.mem_addr:#x}"))
+        return sites
+
+    raise TraceError(f"unknown attack kind {kind!r}")
+
+
+def _inject_oob(trace: Trace, count: int, min_seq: int) -> list[AttackSite]:
+    """Point loads/stores just past a live object's end (into the
+    redzone the ASan kernel poisons around every allocation)."""
+    records = trace.records
+    candidates = []
+    for i, rec in enumerate(records):
+        if not rec.is_mem or rec.seq < min_seq:
+            continue
+        live = [o for o in trace.objects if o.live_at(rec.seq)]
+        if live:
+            candidates.append(i)
+    chosen = _spaced_choices(candidates, count, len(records))
+    sites = []
+    for attack_id, idx in enumerate(chosen):
+        rec = records[idx]
+        live = [o for o in trace.objects if o.live_at(rec.seq)]
+        obj = live[attack_id % len(live)]
+        rec.mem_addr = obj.end + 1  # inside the 16-byte right redzone
+        rec.mem_size = 1
+        rec.attack_id = attack_id
+        sites.append(AttackSite(attack_id, rec.seq, AttackKind.OOB_ACCESS,
+                                f"addr={rec.mem_addr:#x} obj={obj.base:#x}"))
+    return sites
+
+
+def _synthesize_frees(trace: Trace, needed: int, min_seq: int) -> None:
+    """Plant free events for live objects so use-after-free scenarios
+    exist even on allocation-light workloads.
+
+    The paper injects erroneous *behaviour* (accessing freed memory);
+    when the workload itself frees too rarely, the attack scenario
+    includes the free: a suitable plain-ALU instruction becomes the
+    ``custom0.f1`` allocator marker for a live object.
+    """
+    from repro.isa.decode import decode, encode_instr
+    from repro.trace.record import HeapObject
+
+    records = trace.records
+    size = 256
+    # Fresh addresses past the workload's heap: the planted objects are
+    # never touched by legitimate accesses.
+    next_base = ((trace.heap_end + 0xFFF) & ~0xFFF) + 0x10000
+
+    alloc_word = encode_instr("custom0.f0", rs1=10, rs2=11)
+    free_word = encode_instr("custom0.f1", rs1=10)
+    alloc_dec = decode(alloc_word)
+    free_dec = decode(free_word)
+
+    def _convert(idx: int, word: int, dec, base: int) -> None:
+        rec = records[idx]
+        rec.word = word
+        rec.opcode = dec.opcode
+        rec.funct3 = dec.funct3
+        rec.iclass = InstrClass.CUSTOM
+        rec.dst = None
+        rec.srcs = ()
+        rec.mem_addr = base
+        rec.mem_size = size
+        rec.result = size
+
+    # Room for the free, the ageing window, and the dangling load.
+    horizon = len(records) - 1200
+    alu = [i for i in range(min_seq, max(min_seq + 1, horizon))
+           if records[i].attack_id is None
+           and records[i].iclass is InstrClass.INT_ALU]
+    planted = 0
+    cursor = 0
+    while planted < needed and cursor + 1 < len(alu):
+        alloc_idx = alu[cursor]
+        free_idx = next((i for i in alu[cursor + 1:]
+                         if i >= alloc_idx + 32), None)
+        if free_idx is None:
+            break
+        base = next_base
+        next_base += size + 0x1000
+        _convert(alloc_idx, alloc_word, alloc_dec, base)
+        _convert(free_idx, free_word, free_dec, base)
+        trace.objects.append(HeapObject(
+            base=base, size=size, alloc_seq=records[alloc_idx].seq,
+            free_seq=records[free_idx].seq))
+        planted += 1
+        # Spread the planted scenarios across the trace.
+        cursor += max(2, len(alu) // max(1, needed))
+
+
+def _inject_uaf(trace: Trace, count: int, min_seq: int) -> list[AttackSite]:
+    """Point loads at freed (quarantined) regions after their free."""
+    records = trace.records
+    freed = [o for o in trace.objects
+             if o.free_seq is not None and o.free_seq >= min_seq]
+    if len(freed) < count:
+        _synthesize_frees(trace, count - len(freed), min_seq)
+        freed = [o for o in trace.objects
+                 if o.free_seq is not None and o.free_seq >= min_seq]
+    if not freed:
+        raise TraceError(
+            "trace has no freed objects and none could be planted; "
+            "increase the trace length")
+    loads = [i for i, r in enumerate(records)
+             if r.iclass is InstrClass.LOAD]
+    sites: list[AttackSite] = []
+    freed_iter = _spaced_choices(list(range(len(freed))), count, len(freed))
+    for attack_id, fidx in enumerate(freed_iter):
+        obj = freed[fidx]
+        # First load comfortably after the free: quarantine poisoning
+        # is deferred past the engines' in-flight window (the kernels'
+        # FREE_DELAY_PACKETS ageing), so the dangling access must
+        # trail the free by more than that window.
+        target_idx = None
+        for i in loads:
+            if records[i].seq >= obj.free_seq + 1100:
+                target_idx = i
+                break
+        if target_idx is None:
+            continue
+        rec = records[target_idx]
+        rec.mem_addr = obj.base + (obj.size // 2) // 8 * 8
+        rec.attack_id = attack_id
+        loads.remove(target_idx)
+        sites.append(AttackSite(attack_id, rec.seq, AttackKind.UAF_ACCESS,
+                                f"addr={rec.mem_addr:#x} freed@{obj.free_seq}"))
+    if not sites:
+        raise TraceError("could not place any UaF attacks in the trace")
+    return sites

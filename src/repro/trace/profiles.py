@@ -1,0 +1,126 @@
+"""Per-benchmark workload profiles.
+
+The nine PARSEC benchmarks the paper evaluates, characterised by
+instruction mix and memory behaviour.  Values are calibrated from the
+published PARSEC characterisation (Bienia et al., PACT'08) and tuned so
+the *relative* properties the paper's results depend on hold:
+
+* x264 has the highest combined load+store fraction (its ASan/UaF
+  monitoring traffic swamps four µcores — §IV-A, §IV-D);
+* dedup is the most allocation-intensive (its UaF overhead stays flat
+  with more µcores because per-free quarantine work does not
+  parallelise — §IV-D);
+* streamcluster streams a large working set (cache-miss heavy);
+* swaptions/blackscholes are compute-heavy with few memory events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Instruction mix and memory behaviour of one benchmark.
+
+    Fractions are of all dynamic instructions and must sum to < 1;
+    the remainder is plain integer ALU work.
+    """
+
+    name: str
+    frac_load: float
+    frac_store: float
+    frac_branch: float
+    frac_call: float          # each call eventually pairs with a return
+    frac_fp: float
+    frac_mul: float = 0.01
+    frac_div: float = 0.002
+    alloc_per_kilo: float = 0.5   # allocation events per 1000 instructions
+    mean_alloc_bytes: int = 256
+    working_set_kb: int = 256
+    locality_skew: float = 1.6    # zipf skew within the hot set
+    hot_fraction: float = 0.92    # accesses hitting the cache-resident hot set
+    branch_bias: float = 0.85     # fraction of strongly biased static branches
+    dep_distance: float = 4.0     # mean producer-consumer distance (ILP)
+    code_footprint_kb: int = 24
+    max_call_depth: int = 24
+
+    def __post_init__(self) -> None:
+        total = (self.frac_load + self.frac_store + self.frac_branch
+                 + self.frac_call * 2 + self.frac_fp + self.frac_mul
+                 + self.frac_div)
+        if total >= 1.0:
+            raise ConfigError(
+                f"profile {self.name}: fractions sum to {total:.3f} >= 1")
+        for field_name in ("frac_load", "frac_store", "frac_branch",
+                           "frac_call", "frac_fp", "frac_mul", "frac_div"):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"profile {self.name}: {field_name} < 0")
+        if self.alloc_per_kilo < 0:
+            raise ConfigError(f"profile {self.name}: negative alloc rate")
+
+    @property
+    def frac_mem(self) -> float:
+        return self.frac_load + self.frac_store
+
+
+PARSEC_PROFILES: dict[str, WorkloadProfile] = {
+    "blackscholes": WorkloadProfile(
+        name="blackscholes", frac_load=0.24, frac_store=0.07,
+        frac_branch=0.09, frac_call=0.008, frac_fp=0.30,
+        alloc_per_kilo=0.1, mean_alloc_bytes=512, working_set_kb=128,
+        locality_skew=2.0, hot_fraction=0.985, branch_bias=0.95, dep_distance=5.0,
+        code_footprint_kb=8),
+    "bodytrack": WorkloadProfile(
+        name="bodytrack", frac_load=0.29, frac_store=0.12,
+        frac_branch=0.14, frac_call=0.018, frac_fp=0.12,
+        alloc_per_kilo=1.2, mean_alloc_bytes=384, working_set_kb=512,
+        locality_skew=1.5, hot_fraction=0.975, branch_bias=0.80, dep_distance=3.5,
+        code_footprint_kb=40),
+    "dedup": WorkloadProfile(
+        name="dedup", frac_load=0.26, frac_store=0.14,
+        frac_branch=0.12, frac_call=0.020, frac_fp=0.01,
+        alloc_per_kilo=6.0, mean_alloc_bytes=1024, working_set_kb=1024,
+        locality_skew=1.3, hot_fraction=0.965, branch_bias=0.78, dep_distance=3.0,
+        code_footprint_kb=48),
+    "ferret": WorkloadProfile(
+        name="ferret", frac_load=0.28, frac_store=0.10,
+        frac_branch=0.13, frac_call=0.016, frac_fp=0.15,
+        alloc_per_kilo=1.8, mean_alloc_bytes=512, working_set_kb=768,
+        locality_skew=1.5, hot_fraction=0.975, branch_bias=0.82, dep_distance=3.8,
+        code_footprint_kb=56),
+    "fluidanimate": WorkloadProfile(
+        name="fluidanimate", frac_load=0.30, frac_store=0.13,
+        frac_branch=0.11, frac_call=0.010, frac_fp=0.22,
+        alloc_per_kilo=0.4, mean_alloc_bytes=2048, working_set_kb=640,
+        locality_skew=1.6, hot_fraction=0.975, branch_bias=0.86, dep_distance=3.2,
+        code_footprint_kb=24),
+    "freqmine": WorkloadProfile(
+        name="freqmine", frac_load=0.30, frac_store=0.11,
+        frac_branch=0.15, frac_call=0.014, frac_fp=0.02,
+        alloc_per_kilo=2.2, mean_alloc_bytes=256, working_set_kb=896,
+        locality_skew=1.4, hot_fraction=0.975, branch_bias=0.80, dep_distance=3.0,
+        code_footprint_kb=36),
+    "streamcluster": WorkloadProfile(
+        name="streamcluster", frac_load=0.33, frac_store=0.06,
+        frac_branch=0.10, frac_call=0.006, frac_fp=0.26,
+        alloc_per_kilo=0.3, mean_alloc_bytes=4096, working_set_kb=2048,
+        locality_skew=1.1, hot_fraction=0.945, branch_bias=0.90, dep_distance=4.5,
+        code_footprint_kb=12),
+    "swaptions": WorkloadProfile(
+        name="swaptions", frac_load=0.19, frac_store=0.07,
+        frac_branch=0.12, frac_call=0.012, frac_fp=0.30,
+        alloc_per_kilo=0.8, mean_alloc_bytes=192, working_set_kb=96,
+        locality_skew=2.0, hot_fraction=0.98, branch_bias=0.90, dep_distance=4.0,
+        code_footprint_kb=16),
+    "x264": WorkloadProfile(
+        name="x264", frac_load=0.36, frac_store=0.17,
+        frac_branch=0.11, frac_call=0.012, frac_fp=0.04,
+        alloc_per_kilo=1.0, mean_alloc_bytes=1536, working_set_kb=1536,
+        locality_skew=1.4, hot_fraction=0.982, branch_bias=0.80, dep_distance=4.0,
+        code_footprint_kb=64),
+}
+
+PARSEC_BENCHMARKS: tuple[str, ...] = tuple(PARSEC_PROFILES)

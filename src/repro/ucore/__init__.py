@@ -1,0 +1,15 @@
+"""Analysis-engine substrate: Rocket-like in-order µcores.
+
+A µcore is a 5-stage in-order scalar core (Table II: 1.6 GHz, 4 KB
+2-way L1s, 32-entry message queues, no FPU) running a guardian kernel.
+The kernel is real assembly: :mod:`repro.ucore.assembler` turns text
+into programs, and :class:`repro.ucore.core.MicroCore` executes them
+functionally with pipeline-accurate hazard timing — including the ISAX
+queue instructions of Table I.
+"""
+
+from repro.ucore.assembler import assemble
+from repro.ucore.core import MicroCore, UcoreMemory
+from repro.ucore.isa import Op, UInstr
+
+__all__ = ["MicroCore", "Op", "UInstr", "UcoreMemory", "assemble"]

@@ -1,0 +1,221 @@
+"""Two-pass assembler for µcore (guardian-kernel) programs.
+
+Syntax, one instruction per line::
+
+    # comment
+    loop:                       # label
+        qcount  t0, 0           # ISAX: packets in queue 0
+        beqz    t0, loop        # pseudo: beq t0, zero, loop
+        qpop    a0, 0           # pop metadata word (bit offset 0)
+        andi    t1, a0, 1       # test the load flag
+        bnez    t1, handle_load
+        j       loop            # pseudo: jal zero, loop
+
+Registers use ABI names (zero/ra/sp/t0-t6/a0-a7/s0-s11) or xN.
+Immediates are decimal or 0x-hex, optionally negative.  Memory
+operands are written ``imm(reg)``.  Branch/jump targets are labels.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.registers import reg_number
+from repro.ucore.isa import Op, UInstr
+
+_THREE_REG = {
+    "add": Op.ADD, "sub": Op.SUB, "and": Op.AND, "or": Op.OR,
+    "xor": Op.XOR, "sll": Op.SLL, "srl": Op.SRL, "sra": Op.SRA,
+    "slt": Op.SLT, "sltu": Op.SLTU, "mul": Op.MUL, "div": Op.DIV,
+}
+_TWO_REG_IMM = {
+    "addi": Op.ADDI, "andi": Op.ANDI, "ori": Op.ORI, "xori": Op.XORI,
+    "slli": Op.SLLI, "srli": Op.SRLI, "slti": Op.SLTI,
+}
+_LOADS = {"ld": Op.LD, "lw": Op.LW, "lb": Op.LB, "lbu": Op.LBU}
+_STORES = {"sd": Op.SD, "sw": Op.SW, "sb": Op.SB}
+_BRANCHES = {
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "bltu": Op.BLTU, "bgeu": Op.BGEU,
+}
+_QUEUE_RD_IMM = {
+    "qcount": Op.QCOUNT, "qtop": Op.QTOP, "qpop": Op.QPOP,
+    "qrecent": Op.QRECENT, "pcount": Op.PCOUNT,
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _parse_imm(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate {text!r}", line) from None
+
+
+def _parse_reg(text: str, line: int) -> int:
+    try:
+        return reg_number(text)
+    except Exception:
+        raise AssemblyError(f"bad register {text!r}", line) from None
+
+
+def _parse_mem_operand(text: str, line: int) -> tuple[int, int]:
+    """``imm(reg)`` → (imm, reg)."""
+    m = re.fullmatch(r"(-?(?:0x)?[0-9a-fA-F]+)?\((\w+)\)", text.strip())
+    if not m:
+        raise AssemblyError(f"bad memory operand {text!r}", line)
+    imm = _parse_imm(m.group(1), line) if m.group(1) else 0
+    return imm, _parse_reg(m.group(2), line)
+
+
+def _tokenize(source: str):
+    """Yield (line_number, label or None, mnemonic or None, operands)."""
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        code = raw.split("#", 1)[0].strip()
+        if not code:
+            continue
+        label = None
+        if ":" in code:
+            label_part, code = code.split(":", 1)
+            label = label_part.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(f"bad label {label!r}", line_no)
+            code = code.strip()
+        if not code:
+            yield line_no, label, None, []
+            continue
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = []
+        if len(parts) > 1:
+            operands = [p.strip() for p in parts[1].split(",")]
+        yield line_no, label, mnemonic, operands
+
+
+def assemble(source: str) -> list[UInstr]:
+    """Assemble µcore assembly text into a program."""
+    # Pass 1: label addresses (instruction indices).
+    labels: dict[str, int] = {}
+    entries: list[tuple[int, str, list[str]]] = []
+    for line_no, label, mnemonic, operands in _tokenize(source):
+        if label is not None:
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no)
+            labels[label] = len(entries)
+        if mnemonic is not None:
+            entries.append((line_no, mnemonic, operands))
+
+    # Pass 2: encode.
+    program: list[UInstr] = []
+    for index, (line, m, ops) in enumerate(entries):
+        program.append(_encode(line, index, m, ops, labels))
+    return program
+
+
+def _target(name: str, labels: dict[str, int], line: int) -> int:
+    if name not in labels:
+        raise AssemblyError(f"unknown label {name!r}", line)
+    return labels[name]
+
+
+def _expect(ops: list[str], count: int, mnemonic: str, line: int) -> None:
+    if len(ops) != count:
+        raise AssemblyError(
+            f"{mnemonic} expects {count} operand(s), got {len(ops)}", line)
+
+
+def _encode(line: int, index: int, m: str, ops: list[str],
+            labels: dict[str, int]) -> UInstr:
+    if m in _THREE_REG:
+        _expect(ops, 3, m, line)
+        return UInstr(_THREE_REG[m], rd=_parse_reg(ops[0], line),
+                      rs1=_parse_reg(ops[1], line),
+                      rs2=_parse_reg(ops[2], line))
+    if m in _TWO_REG_IMM:
+        _expect(ops, 3, m, line)
+        return UInstr(_TWO_REG_IMM[m], rd=_parse_reg(ops[0], line),
+                      rs1=_parse_reg(ops[1], line),
+                      imm=_parse_imm(ops[2], line))
+    if m == "li":
+        _expect(ops, 2, m, line)
+        return UInstr(Op.LI, rd=_parse_reg(ops[0], line),
+                      imm=_parse_imm(ops[1], line))
+    if m == "mv":
+        _expect(ops, 2, m, line)
+        return UInstr(Op.ADDI, rd=_parse_reg(ops[0], line),
+                      rs1=_parse_reg(ops[1], line), imm=0)
+    if m in _LOADS:
+        _expect(ops, 2, m, line)
+        imm, base = _parse_mem_operand(ops[1], line)
+        return UInstr(_LOADS[m], rd=_parse_reg(ops[0], line), rs1=base,
+                      imm=imm)
+    if m in _STORES:
+        _expect(ops, 2, m, line)
+        imm, base = _parse_mem_operand(ops[1], line)
+        return UInstr(_STORES[m], rs1=base, rs2=_parse_reg(ops[0], line),
+                      imm=imm)
+    if m in _BRANCHES:
+        _expect(ops, 3, m, line)
+        return UInstr(_BRANCHES[m], rs1=_parse_reg(ops[0], line),
+                      rs2=_parse_reg(ops[1], line),
+                      imm=_target(ops[2], labels, line))
+    if m == "beqz":
+        _expect(ops, 2, m, line)
+        return UInstr(Op.BEQ, rs1=_parse_reg(ops[0], line), rs2=0,
+                      imm=_target(ops[1], labels, line))
+    if m == "bnez":
+        _expect(ops, 2, m, line)
+        return UInstr(Op.BNE, rs1=_parse_reg(ops[0], line), rs2=0,
+                      imm=_target(ops[1], labels, line))
+    if m == "j":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.JAL, rd=0, imm=_target(ops[0], labels, line))
+    if m == "jal":
+        _expect(ops, 2, m, line)
+        return UInstr(Op.JAL, rd=_parse_reg(ops[0], line),
+                      imm=_target(ops[1], labels, line))
+    if m == "jalr":
+        _expect(ops, 3, m, line)
+        return UInstr(Op.JALR, rd=_parse_reg(ops[0], line),
+                      rs1=_parse_reg(ops[1], line),
+                      imm=_parse_imm(ops[2], line))
+    if m == "ret":
+        _expect(ops, 0, m, line)
+        return UInstr(Op.JALR, rd=0, rs1=1, imm=0)
+    if m in _QUEUE_RD_IMM:
+        if m == "pcount":
+            _expect(ops, 1, m, line)
+            return UInstr(Op.PCOUNT, rd=_parse_reg(ops[0], line))
+        _expect(ops, 2, m, line)
+        return UInstr(_QUEUE_RD_IMM[m], rd=_parse_reg(ops[0], line),
+                      imm=_parse_imm(ops[1], line))
+    if m == "ppop":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.PPOP, rd=_parse_reg(ops[0], line))
+    if m == "qpush":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.QPUSH, rs1=_parse_reg(ops[0], line))
+    if m == "qdest":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.QDEST, rs1=_parse_reg(ops[0], line))
+    if m == "alert":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.ALERT, rs1=_parse_reg(ops[0], line))
+    if m == "alerti":
+        _expect(ops, 1, m, line)
+        return UInstr(Op.ALERTI, imm=_parse_imm(ops[0], line))
+    if m == "csrr":
+        _expect(ops, 2, m, line)
+        csr = ops[1].lower()
+        csr_ids = {"id": 0, "engineid": 0}
+        if csr not in csr_ids:
+            raise AssemblyError(f"unknown CSR {ops[1]!r}", line)
+        return UInstr(Op.CSRR, rd=_parse_reg(ops[0], line),
+                      imm=csr_ids[csr])
+    if m == "nop":
+        return UInstr(Op.NOP)
+    if m == "halt":
+        return UInstr(Op.HALT)
+    raise AssemblyError(f"unknown mnemonic {m!r}", line)

@@ -1,0 +1,401 @@
+"""The µcore: functional + timing ISS for analysis engines.
+
+A Rocket-like 5-stage in-order scalar pipeline at 1.6 GHz (Table II).
+The model executes guardian-kernel programs functionally and charges
+cycle costs that reproduce the pipeline behaviours the paper's
+programming-model study (Fig 11) depends on:
+
+* late-result (MA-stage) producers — loads and ISAX queue ops — cost a
+  bubble when the very next instruction consumes the result;
+* taken branches cost a redirect bubble;
+* the ISAX interface style (post-commit vs MA-stage) sets queue-op
+  cost via :class:`repro.core.isax.IsaxInterface`;
+* D-cache misses stall for the shared-L2/LLC/DRAM latency, with a
+  small TLB whose walks produce the Fig 8 tail latencies.
+
+Blocking semantics: ``qpop``/``qtop``/``ppop`` on an empty queue and
+``qpush`` into a full output queue stall the pipeline until the
+operation can complete — the hardware handshake the message-queue
+controller implements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxInterface, IsaxStyle
+from repro.core.msgqueue import QueueController
+from repro.errors import SimulationError
+from repro.mem.cache import CacheParams, SetAssocCache
+from repro.mem.sparse import SparseMemory
+from repro.mem.tlb import Tlb, TlbParams
+from repro.ucore.isa import (
+    BRANCH_OPS,
+    LATE_RESULT_OPS,
+    LOAD_OPS,
+    MEM_SIZES,
+    QUEUE_OPS,
+    STORE_OPS,
+    Op,
+    UInstr,
+)
+
+_MASK64 = (1 << 64) - 1
+
+AlertCallback = Callable[[int, int, int], None]
+"""(engine_id, alert_code, low_cycle)."""
+
+
+def _signed(value: int) -> int:
+    return (value ^ (1 << 63)) - (1 << 63)
+
+
+class UcoreMemory:
+    """Shared memory side for all µcores: one functional store, one
+    shared timing L2, and fixed deeper latencies (Fig 6: the µcores
+    hang off the shared L2/memory)."""
+
+    def __init__(self, config: FireGuardConfig,
+                 data: SparseMemory | None = None):
+        self.config = config
+        self.data = data if data is not None else SparseMemory()
+        self.l2 = SetAssocCache(CacheParams(
+            name="uL2", size_bytes=512 * 1024, ways=8,
+            hit_latency=config.ucore_l2_latency, mshrs=12))
+        self.llc = SetAssocCache(CacheParams(
+            name="uLLC", size_bytes=4 * 1024 * 1024, ways=8,
+            hit_latency=config.ucore_llc_latency, mshrs=8))
+
+    def miss_latency(self, addr: int, low_cycle: int) -> int:
+        """Latency beyond the µcore's L1 for a missing line."""
+        latency = self.config.ucore_l2_latency
+        hit, mshr = self.l2.lookup(addr, low_cycle,
+                                   self.config.ucore_llc_latency)
+        latency += mshr
+        if hit:
+            return latency
+        latency += self.config.ucore_llc_latency
+        hit, mshr = self.llc.lookup(addr, low_cycle,
+                                    self.config.ucore_dram_latency)
+        latency += mshr
+        if hit:
+            return latency
+        return latency + self.config.ucore_dram_latency
+
+
+class MicroCore:
+    """One analysis engine executing a guardian-kernel program."""
+
+    SPIN_IDLE_WINDOW = 64
+
+    def __init__(self, engine_id: int, program: list[UInstr],
+                 controller: QueueController, memory: UcoreMemory,
+                 config: FireGuardConfig,
+                 isax: IsaxInterface | None = None,
+                 on_alert: AlertCallback | None = None,
+                 name: str = "ucore"):
+        if not program:
+            raise SimulationError(f"{name}: empty program")
+        self.engine_id = engine_id
+        self.program = program
+        self.controller = controller
+        self.memory = memory
+        self.config = config
+        self.isax = isax or IsaxInterface(IsaxStyle.MA_STAGE)
+        self.on_alert = on_alert
+        self.name = name
+
+        self.regs = [0] * 32
+        self.regs[2] = 0x0000_7000_0000_0000 + engine_id * 0x1_0000  # sp
+        self.pc = 0
+        self.halted = False
+        self.blocked = False
+
+        self.l1d = SetAssocCache(CacheParams(
+            name=f"{name}{engine_id}.L1D",
+            size_bytes=config.ucore_l1_kb * 1024,
+            ways=config.ucore_l1_ways, hit_latency=1, mshrs=2))
+        self.tlb = Tlb(TlbParams(
+            name=f"{name}{engine_id}.TLB",
+            entries=config.ucore_tlb_entries,
+            walk_latency=config.ucore_tlb_walk))
+
+        self._stall_until = 0
+        self._prev_was_queue_op = False
+        self._instrs_since_effect = 0
+        self.stat_instructions = 0
+        self.stat_stall_cycles = 0
+        self.stat_pops = 0
+        self.stat_alerts = 0
+
+    # -- setup -------------------------------------------------------------
+    def preset_registers(self, values: dict[int, int]) -> None:
+        """Load kernel configuration registers before the run."""
+        for reg, value in values.items():
+            if not 0 < reg < 32:
+                raise SimulationError(f"cannot preset register x{reg}")
+            self.regs[reg] = value & _MASK64
+
+    # -- idle / drain detection --------------------------------------------
+    def idle_at(self, low_cycle: int) -> bool:
+        """True when the µcore has no work it could make progress on —
+        either blocked on an empty queue, halted, or spinning a poll
+        loop with nothing to poll."""
+        if self.halted:
+            return True
+        ctrl = self.controller
+        if not ctrl.input_queue.empty or not ctrl.peer_queue.empty:
+            return False
+        if self.blocked:
+            return True
+        # Spinning: many executed instructions with no architectural
+        # effect (pop/push/store/alert) — a poll loop with nothing to
+        # poll.  Counting instructions rather than cycles keeps long
+        # D$-miss stalls from looking like idleness (a kernel doing
+        # real work issues an effect at least every few instructions).
+        return self._instrs_since_effect > self.SPIN_IDLE_WINDOW
+
+    # -- execution ---------------------------------------------------------
+    def tick(self, low_cycle: int) -> None:
+        """Advance at most one instruction at this low-domain cycle."""
+        if self.halted:
+            return
+        if low_cycle < self._stall_until:
+            self.stat_stall_cycles += 1
+            return
+        if self.pc >= len(self.program) or self.pc < 0:
+            self.halted = True
+            return
+        instr = self.program[self.pc]
+        cost = self._execute(instr, low_cycle)
+        if cost == 0:
+            # Blocked: retry the same instruction next cycle.
+            self.blocked = True
+            self.stat_stall_cycles += 1
+            self._stall_until = low_cycle + 1
+            return
+        self.blocked = False
+        self.stat_instructions += 1
+        self._instrs_since_effect += 1
+        self._stall_until = low_cycle + cost
+        self._prev_was_queue_op = instr.op in QUEUE_OPS
+
+    def _hazard_next_uses(self, rd: int) -> bool:
+        """Does the next sequential instruction read ``rd``?"""
+        if rd == 0:
+            return False
+        nxt = self.pc + 1
+        if nxt >= len(self.program):
+            return False
+        return rd in self.program[nxt].reads()
+
+    def _execute(self, instr: UInstr, low_cycle: int) -> int:
+        """Execute one instruction; return its cycle cost, or 0 when
+        the instruction is blocked and must retry."""
+        op = instr.op
+        regs = self.regs
+        r1 = regs[instr.rs1]
+        r2 = regs[instr.rs2]
+
+        if op in QUEUE_OPS:
+            return self._execute_queue_op(instr, low_cycle)
+
+        cost = 1
+        advance = True
+
+        if op == Op.ADD:
+            result = (r1 + r2) & _MASK64
+        elif op == Op.SUB:
+            result = (r1 - r2) & _MASK64
+        elif op == Op.AND:
+            result = r1 & r2
+        elif op == Op.OR:
+            result = r1 | r2
+        elif op == Op.XOR:
+            result = r1 ^ r2
+        elif op == Op.SLL:
+            result = (r1 << (r2 & 63)) & _MASK64
+        elif op == Op.SRL:
+            result = r1 >> (r2 & 63)
+        elif op == Op.SRA:
+            result = (_signed(r1) >> (r2 & 63)) & _MASK64
+        elif op == Op.SLT:
+            result = 1 if _signed(r1) < _signed(r2) else 0
+        elif op == Op.SLTU:
+            result = 1 if r1 < r2 else 0
+        elif op == Op.MUL:
+            result = (r1 * r2) & _MASK64
+            cost = 2
+        elif op == Op.DIV:
+            result = (r1 // r2) & _MASK64 if r2 else _MASK64
+            cost = 8
+        elif op == Op.ADDI:
+            result = (r1 + instr.imm) & _MASK64
+        elif op == Op.ANDI:
+            result = r1 & (instr.imm & _MASK64)
+        elif op == Op.ORI:
+            result = r1 | (instr.imm & _MASK64)
+        elif op == Op.XORI:
+            result = r1 ^ (instr.imm & _MASK64)
+        elif op == Op.SLLI:
+            result = (r1 << (instr.imm & 63)) & _MASK64
+        elif op == Op.SRLI:
+            result = r1 >> (instr.imm & 63)
+        elif op == Op.SLTI:
+            result = 1 if _signed(r1) < instr.imm else 0
+        elif op == Op.LI:
+            result = instr.imm & _MASK64
+        elif op in LOAD_OPS:
+            return self._execute_load(instr, low_cycle)
+        elif op in STORE_OPS:
+            return self._execute_store(instr, low_cycle)
+        elif op in BRANCH_OPS:
+            taken = self._branch_taken(op, r1, r2)
+            if taken:
+                self.pc = instr.imm
+                return 2  # redirect bubble
+            self.pc += 1
+            return 1
+        elif op == Op.JAL:
+            if instr.rd:
+                regs[instr.rd] = self.pc + 1
+            self.pc = instr.imm
+            return 2
+        elif op == Op.JALR:
+            target = (r1 + instr.imm) & _MASK64
+            if instr.rd:
+                regs[instr.rd] = self.pc + 1
+            self.pc = target
+            return 2
+        elif op == Op.ALERT:
+            self._raise_alert(r1, low_cycle)
+            result = None
+            advance = True
+            self.pc += 1
+            return 1
+        elif op == Op.ALERTI:
+            self._raise_alert(instr.imm, low_cycle)
+            self.pc += 1
+            return 1
+        elif op == Op.CSRR:
+            result = self.engine_id
+        elif op == Op.NOP:
+            result = None
+        elif op == Op.HALT:
+            self.halted = True
+            return 1
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unhandled op {op}")
+
+        if result is not None and instr.rd:
+            regs[instr.rd] = result
+            if op == Op.MUL and self._hazard_next_uses(instr.rd):
+                cost += 1
+        if advance:
+            self.pc += 1
+        return cost
+
+    def _branch_taken(self, op: Op, r1: int, r2: int) -> bool:
+        if op == Op.BEQ:
+            return r1 == r2
+        if op == Op.BNE:
+            return r1 != r2
+        if op == Op.BLT:
+            return _signed(r1) < _signed(r2)
+        if op == Op.BGE:
+            return _signed(r1) >= _signed(r2)
+        if op == Op.BLTU:
+            return r1 < r2
+        return r1 >= r2  # BGEU
+
+    def _execute_load(self, instr: UInstr, low_cycle: int) -> int:
+        addr = (self.regs[instr.rs1] + instr.imm) & _MASK64
+        size = MEM_SIZES[instr.op]
+        if instr.op == Op.LB:
+            value = self.memory.data.load_signed(addr, size) & _MASK64
+        else:
+            value = self.memory.data.load(addr, size)
+        if instr.rd:
+            self.regs[instr.rd] = value
+        cost = 1 + self.tlb.translate(addr)
+        hit, mshr = self.l1d.lookup(addr, low_cycle,
+                                    self.config.ucore_l2_latency)
+        cost += mshr
+        if not hit:
+            cost += self.memory.miss_latency(addr, low_cycle)
+        if self._hazard_next_uses(instr.rd):
+            cost += 1  # load-use bubble
+        self.pc += 1
+        return cost
+
+    def _execute_store(self, instr: UInstr, low_cycle: int) -> int:
+        addr = (self.regs[instr.rs1] + instr.imm) & _MASK64
+        size = MEM_SIZES[instr.op]
+        self.memory.data.store(addr, self.regs[instr.rs2], size)
+        cost = 1 + self.tlb.translate(addr)
+        # Write-allocate: a missing line is fetched before the write.
+        hit, mshr = self.l1d.lookup(addr, low_cycle,
+                                    self.config.ucore_l2_latency)
+        cost += mshr
+        if not hit:
+            cost += self.memory.miss_latency(addr, low_cycle)
+        self._instrs_since_effect = 0
+        self.pc += 1
+        return cost
+
+    def _execute_queue_op(self, instr: UInstr, low_cycle: int) -> int:
+        op = instr.op
+        ctrl = self.controller
+        regs = self.regs
+        result: int | None = None
+
+        if op == Op.QCOUNT:
+            result = ctrl.count(instr.imm)
+        elif op == Op.QTOP:
+            if ctrl.input_queue.empty:
+                return 0
+            result = ctrl.input_queue.top(instr.imm)
+        elif op == Op.QPOP:
+            if ctrl.input_queue.empty:
+                return 0
+            result = ctrl.input_queue.pop(instr.imm)
+            self.stat_pops += 1
+            self._instrs_since_effect = 0
+        elif op == Op.QRECENT:
+            result = ctrl.input_queue.recent(instr.imm)
+        elif op == Op.PCOUNT:
+            result = len(ctrl.peer_queue)
+        elif op == Op.PPOP:
+            if ctrl.peer_queue.empty:
+                return 0
+            result = ctrl.peer_queue.pop()
+            self._instrs_since_effect = 0
+        elif op == Op.QPUSH:
+            if not ctrl.push(regs[instr.rs1]):
+                return 0
+            self._instrs_since_effect = 0
+        elif op == Op.QDEST:
+            ctrl.dest_register = regs[instr.rs1] % max(
+                1, len(self.config_engines()))
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unhandled queue op {op}")
+
+        if result is not None and instr.rd:
+            regs[instr.rd] = result
+
+        used_next = (result is not None
+                     and self._hazard_next_uses(instr.rd))
+        cost = self.isax.cost(result_used_next=used_next,
+                              back_to_back=self._prev_was_queue_op)
+        self.pc += 1
+        return cost
+
+    def config_engines(self) -> range:
+        return range(self.config.num_engines)
+
+    def _raise_alert(self, code: int, low_cycle: int) -> None:
+        self.stat_alerts += 1
+        self._instrs_since_effect = 0
+        if self.on_alert is not None:
+            self.on_alert(self.engine_id, code, low_cycle)

@@ -1,0 +1,106 @@
+"""µcore instruction set.
+
+RV64I-flavoured base ops plus the FireGuard ISAX extension (Table I):
+``qcount/qtop/qpop/qrecent/qpush`` operate the message queues,
+``qdest`` sets the routing destination status register, ``ppop`` /
+``pcount`` read the peer (NoC) queue, and ``alert`` raises a
+detection.  Queue-op operands follow Table I: the second operand of
+top/pop/recent is the *bit offset* selecting the 64-bit field of the
+packet ([rs1+63:rs1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class Op(Enum):
+    # ALU register-register
+    ADD = auto(); SUB = auto(); AND = auto(); OR = auto(); XOR = auto()
+    SLL = auto(); SRL = auto(); SRA = auto(); SLT = auto(); SLTU = auto()
+    MUL = auto(); DIV = auto()
+    # ALU register-immediate
+    ADDI = auto(); ANDI = auto(); ORI = auto(); XORI = auto()
+    SLLI = auto(); SRLI = auto(); SLTI = auto()
+    LI = auto()          # pseudo: load (arbitrary 64-bit) immediate
+    # Memory
+    LD = auto(); LW = auto(); LB = auto(); LBU = auto()
+    SD = auto(); SW = auto(); SB = auto()
+    # Control
+    BEQ = auto(); BNE = auto(); BLT = auto(); BGE = auto()
+    BLTU = auto(); BGEU = auto()
+    JAL = auto(); JALR = auto()
+    # ISAX queue extension (Table I)
+    QCOUNT = auto(); QTOP = auto(); QPOP = auto(); QRECENT = auto()
+    QPUSH = auto(); QDEST = auto()
+    PCOUNT = auto(); PPOP = auto()
+    ALERT = auto(); ALERTI = auto()
+    # Misc
+    CSRR = auto(); NOP = auto(); HALT = auto()
+
+
+# Ops whose results arrive late (MA stage): consuming them in the very
+# next instruction costs a bubble, exactly like a load-use hazard.
+LATE_RESULT_OPS = frozenset({
+    Op.LD, Op.LW, Op.LB, Op.LBU,
+    Op.QCOUNT, Op.QTOP, Op.QPOP, Op.QRECENT, Op.PCOUNT, Op.PPOP,
+})
+
+QUEUE_OPS = frozenset({
+    Op.QCOUNT, Op.QTOP, Op.QPOP, Op.QRECENT, Op.QPUSH, Op.QDEST,
+    Op.PCOUNT, Op.PPOP,
+})
+
+BRANCH_OPS = frozenset({
+    Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU,
+})
+
+LOAD_OPS = frozenset({Op.LD, Op.LW, Op.LB, Op.LBU})
+STORE_OPS = frozenset({Op.SD, Op.SW, Op.SB})
+
+MEM_SIZES = {
+    Op.LD: 8, Op.LW: 4, Op.LB: 1, Op.LBU: 1,
+    Op.SD: 8, Op.SW: 4, Op.SB: 1,
+}
+
+
+@dataclass(frozen=True)
+class UInstr:
+    """One decoded µcore instruction.  ``imm`` doubles as the branch /
+    jump target (program index) after assembly."""
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def reads(self) -> tuple[int, ...]:
+        """Registers this instruction reads (for hazard detection)."""
+        op = self.op
+        if op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL,
+                  Op.SRA, Op.SLT, Op.SLTU, Op.MUL, Op.DIV):
+            return (self.rs1, self.rs2)
+        if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI,
+                  Op.SLTI, Op.JALR):
+            return (self.rs1,)
+        if op in LOAD_OPS:
+            return (self.rs1,)
+        if op in STORE_OPS:
+            return (self.rs1, self.rs2)
+        if op in BRANCH_OPS:
+            return (self.rs1, self.rs2)
+        if op in (Op.QPUSH, Op.QDEST, Op.ALERT):
+            return (self.rs1,)
+        return ()
+
+    def writes(self) -> int | None:
+        """Destination register, or None."""
+        op = self.op
+        if op in (Op.SD, Op.SW, Op.SB, *BRANCH_OPS, Op.QPUSH, Op.QDEST,
+                  Op.ALERT, Op.ALERTI, Op.NOP, Op.HALT):
+            return None
+        if op == Op.JAL or op == Op.JALR:
+            return self.rd if self.rd else None
+        return self.rd if self.rd else None

@@ -1,0 +1,24 @@
+"""Shared utilities: statistics, bit manipulation, deterministic RNG."""
+
+from repro.utils.bitfield import Bitmap, bits, mask, sign_extend
+from repro.utils.rng import DeterministicRng
+from repro.utils.stats import (
+    LatencySummary,
+    geomean,
+    mean,
+    percentile,
+    summarize_latencies,
+)
+
+__all__ = [
+    "Bitmap",
+    "DeterministicRng",
+    "LatencySummary",
+    "bits",
+    "geomean",
+    "mask",
+    "mean",
+    "percentile",
+    "sign_extend",
+    "summarize_latencies",
+]

@@ -1,0 +1,112 @@
+"""Bit-manipulation helpers and a fixed-width bitmap register.
+
+The allocator (§III-C) is built from bitmap registers (``SE_Bitmap``,
+``AE_Bitmap``); :class:`Bitmap` models one with hardware-like semantics:
+fixed width, out-of-range bits are errors rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ConfigError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract bits ``value[hi:lo]`` inclusive, like Verilog slicing."""
+    if hi < lo:
+        raise ConfigError(f"bit slice hi ({hi}) < lo ({lo})")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+class Bitmap:
+    """A fixed-width bitmap register.
+
+    Used for the distributor's per-GID ``SE_Bitmap`` and each Scheduling
+    Engine's ``AE_Bitmap`` (Fig 5).  Bit positions outside the register
+    raise :class:`ConfigError` — in hardware they simply would not exist.
+    """
+
+    __slots__ = ("width", "_value")
+
+    def __init__(self, width: int, value: int = 0):
+        if width <= 0:
+            raise ConfigError(f"Bitmap width must be positive, got {width}")
+        if value < 0 or value > mask(width):
+            raise ConfigError(
+                f"Bitmap initial value {value:#x} does not fit in {width} bits"
+            )
+        self.width = width
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _check(self, bit: int) -> None:
+        if not 0 <= bit < self.width:
+            raise ConfigError(f"bit {bit} outside bitmap of width {self.width}")
+
+    def set(self, bit: int) -> None:
+        self._check(bit)
+        self._value |= 1 << bit
+
+    def clear(self, bit: int) -> None:
+        self._check(bit)
+        self._value &= ~(1 << bit)
+
+    def test(self, bit: int) -> bool:
+        self._check(bit)
+        return bool(self._value >> bit & 1)
+
+    def clear_all(self) -> None:
+        self._value = 0
+
+    def or_with(self, other: "Bitmap") -> None:
+        """OR another bitmap into this one (the allocator's OR-gate tree)."""
+        if other.width != self.width:
+            raise ConfigError(
+                f"cannot OR bitmaps of widths {self.width} and {other.width}"
+            )
+        self._value |= other._value
+
+    def set_bits(self) -> Iterator[int]:
+        """Iterate over the indices of set bits, lowest first."""
+        value = self._value
+        bit = 0
+        while value:
+            if value & 1:
+                yield bit
+            value >>= 1
+            bit += 1
+
+    def popcount(self) -> int:
+        return self._value.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bitmap):
+            return self.width == other.width and self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._value))
+
+    def __repr__(self) -> str:
+        return f"Bitmap(width={self.width}, value={self._value:#x})"

@@ -1,0 +1,99 @@
+"""Deterministic random number generation for reproducible simulation.
+
+All stochastic behaviour in the simulator (trace generation, attack
+injection, address streams) flows through :class:`DeterministicRng` so a
+seed fully determines every simulated cycle.  The generator is a
+SplitMix64 core — simple, fast, and stable across Python versions, unlike
+``random.Random`` whose method implementations may change.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class DeterministicRng:
+    """SplitMix64-based RNG with the handful of draws the simulator needs."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Derive an independent stream (e.g. one per µcore or workload)."""
+        child = DeterministicRng((self._state ^ (salt * _GOLDEN)) & _MASK64)
+        child.next_u64()
+        return child
+
+    def next_u64(self) -> int:
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        if high < low:
+            raise ConfigError(f"randint range empty: [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw."""
+        return self.random() < probability
+
+    def choice(self, items: Sequence[_T]) -> _T:
+        if not items:
+            raise ConfigError("choice from empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def weighted_choice(self, items: Sequence[_T], weights: Sequence[float]) -> _T:
+        """Draw one item with the given (unnormalised) weights."""
+        if len(items) != len(weights) or not items:
+            raise ConfigError("weighted_choice needs matching non-empty sequences")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ConfigError("weighted_choice needs positive total weight")
+        point = self.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]
+
+    def geometric(self, p: float, cap: int) -> int:
+        """Geometric draw >= 1, capped (used for run lengths, call depths)."""
+        if not 0.0 < p <= 1.0:
+            raise ConfigError(f"geometric p must be in (0, 1], got {p}")
+        count = 1
+        while count < cap and not self.chance(p):
+            count += 1
+        return count
+
+    def zipf_index(self, n: int, skew: float = 1.2) -> int:
+        """Zipf-ish index in [0, n): small indices are hot.
+
+        Used for working-set locality: a few hot cache lines, a long
+        cold tail.  Implemented by inverse-power transform of a uniform
+        draw — crude but monotone, cheap, and deterministic.
+        """
+        if n <= 0:
+            raise ConfigError(f"zipf_index needs n > 0, got {n}")
+        u = self.random()
+        # Map uniform u to a power-law-ish distribution over [0, n).
+        idx = int(n * (u ** skew))
+        return min(idx, n - 1)

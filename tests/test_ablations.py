@@ -1,0 +1,38 @@
+"""Smoke tests for the ablation harness (reduced scale)."""
+
+from repro.experiments import ablations
+
+BENCH = ("swaptions",)
+
+
+class TestAblations:
+    def test_isax_ablation_rows(self):
+        rows = ablations.isax_ablation(BENCH)
+        settings = {r.setting for r in rows}
+        assert settings == {"ma_stage", "post_commit"}
+        by = {r.setting: r.geomean_slowdown for r in rows}
+        assert by["post_commit"] >= by["ma_stage"] - 1e-9
+
+    def test_mapper_width_rows(self):
+        rows = ablations.mapper_width_ablation(BENCH)
+        assert [r.setting for r in rows] == ["1", "2", "4"]
+        # The scalar mapper is nearly free on a 4-wide core.
+        by = {r.setting: r.geomean_slowdown for r in rows}
+        assert abs(by["1"] - by["4"]) < 0.15
+
+    def test_fifo_depth_rows(self):
+        rows = ablations.fifo_depth_ablation(BENCH)
+        by = {r.setting: r.geomean_slowdown for r in rows}
+        assert by["4"] >= by["64"] - 0.05
+
+    def test_registry_complete(self):
+        assert set(ablations.ABLATIONS) == {
+            "isax", "mapper_width", "fifo_depth", "cdc_depth",
+            "msgq_depth", "block_size"}
+
+    def test_row_render(self):
+        rows = ablations.cdc_depth_ablation(BENCH)
+        for row in rows:
+            rendered = row.as_row()
+            assert len(rendered) == 3
+            assert float(rendered[2]) > 0

@@ -1,0 +1,176 @@
+"""Unit tests for the analysis package (area model, metrics, reports)."""
+
+import pytest
+
+from repro.analysis.area import (
+    BOOM_SPEC,
+    COMMERCIAL_PROCESSORS,
+    feasibility_row,
+    feasibility_table,
+    fireguard_area_breakdown,
+    soc_overhead,
+    ucores_for_throughput,
+)
+from repro.analysis.bottleneck import bottleneck_report
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.report import format_table
+from repro.core.system import SystemResult
+from repro.errors import ConfigError, ReproError
+
+
+class TestAreaBreakdown:
+    """§IV-F published numbers must reproduce exactly."""
+
+    def test_transport_area(self):
+        b = fireguard_area_breakdown()
+        assert b.transport == pytest.approx(0.043)
+
+    def test_transport_percentages(self):
+        b = fireguard_area_breakdown()
+        assert b.transport_pct_of_boom == pytest.approx(3.88, abs=0.05)
+        assert b.transport_pct_of_soc == pytest.approx(1.48, abs=0.05)
+
+    def test_fireguard_total(self):
+        b = fireguard_area_breakdown()
+        assert b.fireguard_total == pytest.approx(0.287)
+        assert b.fireguard_pct_of_boom == pytest.approx(25.9, abs=0.1)
+        assert b.fireguard_pct_of_soc == pytest.approx(9.86, abs=0.05)
+
+    def test_filter_scales_with_width(self):
+        wide = fireguard_area_breakdown(filter_width=8)
+        assert wide.filter_area == pytest.approx(0.064)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            fireguard_area_breakdown(num_ucores=0)
+
+
+class TestFeasibility:
+    """Table III values."""
+
+    def test_area_normalisation(self):
+        rows = {r.processor: r for r in feasibility_table()}
+        assert rows["FireStorm"].area_at_14nm == pytest.approx(22.55,
+                                                               abs=0.05)
+        assert rows["Cortex-A76"].area_at_14nm == pytest.approx(3.61,
+                                                                abs=0.05)
+        assert rows["AlderLake-S"].area_at_14nm == pytest.approx(22.63,
+                                                                 abs=0.05)
+
+    def test_ucore_counts_match_paper(self):
+        rows = {r.processor: r for r in feasibility_table()}
+        assert rows["BOOM"].num_ucores == 4
+        assert rows["FireStorm"].num_ucores == 12
+        assert rows["Cortex-A76"].num_ucores == 5
+        assert rows["AlderLake-S"].num_ucores == 13
+
+    def test_per_core_overheads_match_paper(self):
+        rows = {r.processor: r for r in feasibility_table()}
+        assert rows["BOOM"].overhead_pct_of_core \
+            == pytest.approx(25.9, abs=0.2)
+        assert rows["FireStorm"].overhead_pct_of_core \
+            == pytest.approx(3.6, abs=0.1)
+        assert rows["Cortex-A76"].overhead_pct_of_core \
+            == pytest.approx(9.6, abs=0.1)
+        assert rows["AlderLake-S"].overhead_pct_of_core \
+            == pytest.approx(3.8, abs=0.1)
+
+    def test_overhead_mm2_match_paper(self):
+        rows = {r.processor: r for r in feasibility_table()}
+        assert rows["FireStorm"].overhead_mm2 == pytest.approx(0.81,
+                                                               abs=0.01)
+        assert rows["Cortex-A76"].overhead_mm2 == pytest.approx(0.35,
+                                                                abs=0.01)
+        assert rows["AlderLake-S"].overhead_mm2 == pytest.approx(0.85,
+                                                                 abs=0.01)
+
+    def test_throughput_recomputation_close(self):
+        # FireStorm/AlderLake recompute from IPC x freq; A76's
+        # published 1.27 deviates (documented in EXPERIMENTS.md).
+        fs = COMMERCIAL_PROCESSORS["FireStorm"]
+        assert fs.computed_throughput(BOOM_SPEC) \
+            == pytest.approx(2.92, abs=0.01)
+
+    def test_ucores_scaling_rule(self):
+        assert ucores_for_throughput(1.0) == 4
+        assert ucores_for_throughput(2.92) == 12
+        assert ucores_for_throughput(3.35) == 13
+
+    def test_bad_throughput_rejected(self):
+        with pytest.raises(ConfigError):
+            ucores_for_throughput(0.0)
+
+    def test_soc_overheads_below_1_2_pct(self):
+        for soc in soc_overhead():
+            if soc.name.startswith("prototype"):
+                continue
+            assert soc.overhead_pct() < 1.2
+
+
+class TestSlowdownTable:
+    def test_record_and_geomean(self):
+        t = SlowdownTable(["a", "b"])
+        t.record("a", "s", 2.0)
+        t.record("b", "s", 8.0)
+        assert t.scheme_geomean("s") == pytest.approx(4.0)
+
+    def test_unknown_benchmark_rejected(self):
+        t = SlowdownTable(["a"])
+        with pytest.raises(ReproError):
+            t.record("zzz", "s", 1.0)
+
+    def test_nonpositive_rejected(self):
+        t = SlowdownTable(["a"])
+        with pytest.raises(ReproError):
+            t.record("a", "s", 0.0)
+
+    def test_rows_include_geomean_footer(self):
+        t = SlowdownTable(["a"])
+        t.record("a", "s1", 1.5)
+        rows = t.rows()
+        assert rows[0] == ["benchmark", "s1"]
+        assert rows[-1][0] == "geomean"
+
+    def test_missing_cells_rendered_as_dash(self):
+        t = SlowdownTable(["a", "b"])
+        t.record("a", "s", 1.1)
+        rows = t.rows()
+        assert rows[2][1] == "-"
+
+
+class TestBottleneck:
+    def _result(self, **kw):
+        base = dict(cycles=1000, committed=900, time_ns=312.5,
+                    stall_backpressure=10, filter_full_cycles=100,
+                    mapper_blocked_cycles=50, cdc_full_cycles=25,
+                    msgq_full_cycles=200)
+        base.update(kw)
+        return SystemResult(**base)
+
+    def test_fractions(self):
+        r = bottleneck_report("x264", 4, self._result(), 800, 4)
+        assert r.slowdown == pytest.approx(1.25)
+        assert r.filter_full == pytest.approx(0.1)
+        assert r.mapper_blocked == pytest.approx(0.05)
+        assert r.cdc_full == pytest.approx(0.05)
+        assert r.msgq_full == pytest.approx(0.1)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ReproError):
+            bottleneck_report("x", 4, self._result(cycles=0), 100, 4)
+
+    def test_as_row(self):
+        r = bottleneck_report("x264", 2, self._result(), 800, 4)
+        assert r.as_row()[0] == "x264"
+        assert r.as_row()[1] == "2"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table([["a", "bb"], ["ccc", "d"]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "ccc" in lines[3]
+
+    def test_empty(self):
+        assert format_table([], title="x") == "x"

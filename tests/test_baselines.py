@@ -1,0 +1,106 @@
+"""Unit tests for the software-instrumentation baselines."""
+
+import pytest
+
+from repro.baselines import SCHEMES, instrument_trace, software_slowdown
+from repro.errors import TraceError
+from repro.isa.opcodes import InstrClass
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+
+def trace_for(bench="dedup", seed=19, length=5000):
+    return generate_trace(PARSEC_PROFILES[bench], seed=seed, length=length)
+
+
+class TestInstrumentation:
+    def test_schemes_registered(self):
+        assert set(SCHEMES) == {"shadow_stack_sw", "asan_aarch64",
+                                "asan_x86", "dangsan"}
+
+    def test_asan_expands_every_mem_op(self):
+        trace = trace_for()
+        out = instrument_trace(trace, SCHEMES["asan_aarch64"])
+        mem_ops = sum(1 for r in trace.records if r.is_mem)
+        expected = len(trace.records) + mem_ops * SCHEMES[
+            "asan_aarch64"].per_mem
+        # Alloc/free instrumentation adds the remainder.
+        assert len(out.records) >= expected
+
+    def test_aarch64_longer_than_x86(self):
+        trace = trace_for()
+        a64 = instrument_trace(trace, SCHEMES["asan_aarch64"])
+        x86 = instrument_trace(trace, SCHEMES["asan_x86"])
+        assert len(a64.records) > len(x86.records)
+
+    def test_original_records_preserved_in_order(self):
+        trace = trace_for(length=2000)
+        out = instrument_trace(trace, SCHEMES["asan_x86"])
+        original_words = [r.word for r in trace.records]
+        kept = [r.word for r in out.records
+                if r.word in set(original_words)]
+        # Every original instruction survives, in order.
+        filtered = [w for w in kept if w in set(original_words)]
+        assert len(out.records) > len(trace.records)
+        orig_iter = iter(out.records)
+        matched = 0
+        for rec in trace.records:
+            for cand in orig_iter:
+                if (cand.pc == rec.pc and cand.word == rec.word
+                        and cand.target == rec.target):
+                    matched += 1
+                    break
+        assert matched == len(trace.records)
+
+    def test_seq_renumbered(self):
+        out = instrument_trace(trace_for(length=1500),
+                               SCHEMES["asan_x86"])
+        assert [r.seq for r in out.records] \
+            == list(range(len(out.records)))
+
+    def test_shadow_stack_only_touches_calls(self):
+        trace = trace_for(length=3000)
+        out = instrument_trace(trace, SCHEMES["shadow_stack_sw"])
+        calls = sum(1 for r in trace.records
+                    if r.iclass is InstrClass.CALL)
+        rets = sum(1 for r in trace.records if r.iclass is InstrClass.RET)
+        added = len(out.records) - len(trace.records)
+        scheme = SCHEMES["shadow_stack_sw"]
+        assert added == calls * scheme.per_call + rets * scheme.per_ret
+
+    def test_dangsan_heavy_on_frees(self):
+        trace = trace_for("dedup", length=4000)
+        out = instrument_trace(trace, SCHEMES["dangsan"])
+        assert len(out.records) > len(trace.records)
+
+    def test_attack_ids_survive(self):
+        from repro.trace.attacks import AttackKind, inject_attacks
+        trace = trace_for(length=4000)
+        inject_attacks(trace, AttackKind.OOB_ACCESS, 5)
+        out = instrument_trace(trace, SCHEMES["asan_x86"])
+        ids = {r.attack_id for r in out.records
+               if r.attack_id is not None}
+        assert len(ids) == 5
+
+
+class TestSoftwareSlowdown:
+    def test_asan_slower_than_shadow_stack(self):
+        trace = trace_for("x264", length=4000)
+        asan = software_slowdown(trace, "asan_aarch64")
+        ss = software_slowdown(trace, "shadow_stack_sw")
+        assert asan > ss
+        assert asan > 1.5
+
+    def test_aarch64_slower_than_x86(self):
+        trace = trace_for("x264", length=4000)
+        assert software_slowdown(trace, "asan_aarch64") \
+            > software_slowdown(trace, "asan_x86")
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(TraceError):
+            software_slowdown(trace_for(length=1000), "nonexistent")
+
+    def test_slowdown_at_least_one(self):
+        trace = trace_for("swaptions", length=3000)
+        for scheme in SCHEMES:
+            assert software_slowdown(trace, scheme) >= 0.99

@@ -1,0 +1,162 @@
+"""Unit tests for the branch-prediction substrate."""
+
+import pytest
+
+from repro.branch.btb import Btb
+from repro.branch.predictor import FrontEndPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TageParams, TagePredictor
+from repro.errors import ConfigError
+from repro.isa.opcodes import InstrClass
+from repro.utils.rng import DeterministicRng
+
+
+class TestTage:
+    def test_learns_always_taken(self):
+        t = TagePredictor()
+        for _ in range(64):
+            t.update(0x4000, True)
+        assert t.predict(0x4000)
+
+    def test_learns_always_not_taken(self):
+        t = TagePredictor()
+        for _ in range(64):
+            t.update(0x4000, False)
+        assert not t.predict(0x4000)
+
+    def test_biased_site_accuracy(self):
+        t = TagePredictor()
+        rng = DeterministicRng(3)
+        wrong = 0
+        for i in range(4000):
+            taken = rng.chance(0.97)
+            if t.predict(0x1000) != taken:
+                wrong += 1
+            t.update(0x1000, taken)
+        assert wrong / 4000 < 0.08
+
+    def test_learns_loop_pattern(self):
+        # taken 7, not-taken 1, repeated: TAGE history should learn it.
+        t = TagePredictor()
+        pattern = [True] * 7 + [False]
+        wrong = 0
+        for i in range(4000):
+            taken = pattern[i % 8]
+            if i > 1000 and t.predict(0x2000) != taken:
+                wrong += 1
+            t.update(0x2000, taken)
+        assert wrong / 3000 < 0.30  # far better than 1/8 always-taken miss
+
+    def test_distinct_sites_do_not_interfere_much(self):
+        t = TagePredictor()
+        for _ in range(128):
+            t.update(0x1000, True)
+            t.update(0x2000, False)
+        assert t.predict(0x1000)
+        assert not t.predict(0x2000)
+
+    def test_geometric_history_lengths(self):
+        lengths = TageParams().lengths()
+        assert len(lengths) == 6
+        assert lengths[0] == 2 and lengths[-1] == 64
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_too_few_tables_rejected(self):
+        with pytest.raises(ConfigError):
+            TageParams(num_tables=1).lengths()
+
+    def test_mispredict_rate_stat(self):
+        t = TagePredictor()
+        for _ in range(10):
+            t.predict(0x10)
+            t.update(0x10, True)
+        assert 0.0 <= t.mispredict_rate <= 1.0
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        b = Btb(16)
+        assert b.predict(0x100) is None
+        b.update(0x100, 0x2000)
+        assert b.predict(0x100) == 0x2000
+
+    def test_aliasing_overwrites(self):
+        b = Btb(16)
+        b.update(0x100, 0x1)
+        b.update(0x100 + 16 * 4, 0x2)  # same index, different tag
+        assert b.predict(0x100) is None
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ConfigError):
+            Btb(12)
+
+
+class TestRas:
+    def test_lifo_order(self):
+        r = ReturnAddressStack(8)
+        r.push(0x10)
+        r.push(0x20)
+        assert r.pop() == 0x20
+        assert r.pop() == 0x10
+
+    def test_underflow_returns_none(self):
+        r = ReturnAddressStack(4)
+        assert r.pop() is None
+        assert r.stat_underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        r = ReturnAddressStack(2)
+        r.push(1)
+        r.push(2)
+        r.push(3)
+        assert r.stat_overflows == 1
+        assert r.pop() == 3
+        assert r.pop() == 2
+        assert r.pop() is None
+
+    def test_depth(self):
+        r = ReturnAddressStack(4)
+        r.push(1)
+        assert r.depth == 1
+
+
+class TestFrontEndPredictor:
+    def test_call_ret_pairs_predict_perfectly(self):
+        p = FrontEndPredictor()
+        stack = []
+        wrong = 0
+        pc = 0x1000
+        for i in range(200):
+            ret_pc = pc + 4
+            wrong += p.predict_and_train(InstrClass.CALL, pc, True, 0x9000)
+            stack.append(ret_pc)
+            wrong += p.predict_and_train(InstrClass.RET, 0x9100, True,
+                                         stack.pop())
+            pc += 8
+        assert wrong == 0
+
+    def test_hijacked_return_mispredicts(self):
+        p = FrontEndPredictor()
+        p.predict_and_train(InstrClass.CALL, 0x100, True, 0x900)
+        # RAS predicts 0x104; the architectural target is hijacked.
+        assert p.predict_and_train(InstrClass.RET, 0x904, True, 0xDEAD)
+
+    def test_stable_indirect_jump_learns(self):
+        p = FrontEndPredictor()
+        assert p.predict_and_train(InstrClass.JUMP, 0x40, True, 0x800)
+        assert not p.predict_and_train(InstrClass.JUMP, 0x40, True, 0x800)
+
+    def test_branch_training(self):
+        p = FrontEndPredictor()
+        for _ in range(64):
+            p.predict_and_train(InstrClass.BRANCH, 0x700, True, 0x100)
+        assert not p.predict_and_train(InstrClass.BRANCH, 0x700, True,
+                                       0x100)
+
+    def test_mispredict_rate_bounds(self):
+        p = FrontEndPredictor()
+        rng = DeterministicRng(5)
+        for _ in range(500):
+            p.predict_and_train(InstrClass.BRANCH, 0x10, rng.chance(0.9),
+                                0x20)
+        assert 0.0 <= p.mispredict_rate <= 0.5

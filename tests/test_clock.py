@@ -1,0 +1,59 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.clock.domain import ClockDomain, DualDomainClock
+from repro.errors import ConfigError
+
+
+class TestClockDomain:
+    def test_period(self):
+        assert ClockDomain("core", 3.2).period_ns == pytest.approx(0.3125)
+
+    def test_cycles_to_ns(self):
+        d = ClockDomain("core", 2.0)
+        assert d.cycles_to_ns(10) == pytest.approx(5.0)
+
+    def test_ns_to_cycles_ceiling(self):
+        d = ClockDomain("core", 2.0)
+        assert d.ns_to_cycles(5.0) == 10
+        assert d.ns_to_cycles(5.1) == 11
+
+    def test_zero_freq_rejected(self):
+        with pytest.raises(ConfigError):
+            ClockDomain("bad", 0.0)
+
+
+class TestDualDomainClock:
+    def test_two_to_one_ratio(self):
+        clk = DualDomainClock(ClockDomain("f", 3.2), ClockDomain("s", 1.6))
+        ticks = [clk.tick() for _ in range(100)]
+        assert sum(ticks) == 50
+        assert clk.slow_cycle == 50
+        assert clk.fast_cycle == 100
+
+    def test_equal_frequencies_tick_together(self):
+        clk = DualDomainClock(ClockDomain("f", 1.0), ClockDomain("s", 1.0))
+        assert all(clk.tick() for _ in range(10))
+
+    def test_non_integer_ratio_accumulates(self):
+        clk = DualDomainClock(ClockDomain("f", 3.0), ClockDomain("s", 2.0))
+        for _ in range(300):
+            clk.tick()
+        assert clk.slow_cycle == pytest.approx(200, abs=1)
+
+    def test_slow_faster_than_fast_rejected(self):
+        with pytest.raises(ConfigError):
+            DualDomainClock(ClockDomain("f", 1.0), ClockDomain("s", 2.0))
+
+    def test_time_ns_tracks_fast_domain(self):
+        clk = DualDomainClock(ClockDomain("f", 2.0), ClockDomain("s", 1.0))
+        for _ in range(8):
+            clk.tick()
+        assert clk.time_ns == pytest.approx(4.0)
+
+    def test_slow_edges_evenly_spaced(self):
+        clk = DualDomainClock(ClockDomain("f", 3.2), ClockDomain("s", 1.6))
+        edges = [i for i in range(20) if clk.tick()]
+        gaps = {b - a for a, b in zip(edges, edges[1:])}
+        assert gaps == {2}

@@ -1,0 +1,248 @@
+"""Unit tests for message queues, ISAX cost model, and accelerators."""
+
+import pytest
+
+from repro.core.accelerator import PmcAccelerator, ShadowStackAccelerator
+from repro.core.isax import IsaxInterface, IsaxStyle
+from repro.core.msgqueue import MessageQueue, QueueController, WordQueue
+from repro.core.packet import OFF_ADDR, OFF_DATA, OFF_META, Packet
+from repro.errors import QueueError
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import InstrRecord
+
+
+def load_packet(seq=0, addr=0x2000, attack=None):
+    word = encode_instr("ld", rd=5, rs1=8)
+    rec = InstrRecord(seq=seq, pc=0x100, word=word, opcode=0x03, funct3=3,
+                      iclass=InstrClass.LOAD, dst=5, srcs=(8,),
+                      mem_addr=addr, mem_size=8, attack_id=attack)
+    return Packet(seq=seq, gid=1, record=rec, commit_ns=1.0)
+
+
+def call_packet(seq=0, pc=0x400, target=0x9000):
+    word = encode_instr("jal", rd=1, imm=0)
+    rec = InstrRecord(seq=seq, pc=pc, word=word, opcode=0x6F, funct3=0,
+                      iclass=InstrClass.CALL, dst=1, taken=True,
+                      target=target, result=pc + 4)
+    return Packet(seq=seq, gid=2, record=rec, commit_ns=0.0)
+
+
+def ret_packet(seq=0, pc=0x500, target=0x404):
+    word = encode_instr("jalr", rd=0, rs1=1)
+    rec = InstrRecord(seq=seq, pc=pc, word=word, opcode=0x67, funct3=0,
+                      iclass=InstrClass.RET, srcs=(1,), taken=True,
+                      target=target)
+    return Packet(seq=seq, gid=2, record=rec, commit_ns=0.0)
+
+
+class TestMessageQueue:
+    def test_count_top_pop(self):
+        q = MessageQueue(4)
+        q.push(load_packet(0, addr=0xAA))
+        q.push(load_packet(1, addr=0xBB))
+        assert q.count() == 2
+        assert q.top(OFF_ADDR) == 0xAA
+        assert q.pop(OFF_ADDR) == 0xAA
+        assert q.count() == 1
+
+    def test_recent_after_pop(self):
+        q = MessageQueue(4)
+        q.push(load_packet(0, addr=0xCC))
+        q.pop(OFF_META)
+        assert q.recent(OFF_ADDR) == 0xCC
+
+    def test_recent_before_pop_raises(self):
+        with pytest.raises(QueueError):
+            MessageQueue(2).recent(0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(QueueError):
+            MessageQueue(2).pop(0)
+
+    def test_top_empty_raises(self):
+        with pytest.raises(QueueError):
+            MessageQueue(2).top(0)
+
+    def test_capacity(self):
+        q = MessageQueue(2)
+        assert q.push(load_packet(0))
+        assert q.push(load_packet(1))
+        assert not q.push(load_packet(2))
+        assert q.full
+
+    def test_recently_popped_window(self):
+        q = MessageQueue(16)
+        for i in range(12):
+            q.push(load_packet(i))
+        for _ in range(12):
+            q.pop(OFF_META)
+        window = q.recently_popped()
+        assert len(window) == MessageQueue.ATTRIBUTION_WINDOW
+        assert window[0].seq == 11  # newest first
+
+    def test_full_cycle_stat(self):
+        q = MessageQueue(1)
+        q.push(load_packet(0))
+        q.note_cycle()
+        assert q.stat_full_cycles == 1
+
+
+class TestWordQueue:
+    def test_fifo(self):
+        q = WordQueue(4)
+        q.push(1)
+        q.push(2)
+        assert q.pop() == 1
+        assert q.head() == 2
+
+    def test_capacity(self):
+        q = WordQueue(1)
+        assert q.push(1)
+        assert not q.push(2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(QueueError):
+            WordQueue(1).pop()
+
+
+class TestQueueController:
+    def test_selectors(self):
+        c = QueueController(engine_id=0, input_depth=4, peer_depth=4)
+        c.input_queue.push(load_packet(0))
+        c.peer_queue.push(0x7)
+        assert c.count(QueueController.INPUT) == 1
+        assert c.count(QueueController.PEER) == 1
+
+    def test_bad_selector(self):
+        c = QueueController(0, 4, 4)
+        with pytest.raises(QueueError):
+            c.count(2)
+
+    def test_push_targets_dest_register(self):
+        c = QueueController(0, 4, 4, output_depth=2)
+        c.dest_register = 3
+        assert c.push(0xAB)
+        assert c.take_outgoing() == (3, 0xAB)
+        assert c.take_outgoing() is None
+
+    def test_output_capacity(self):
+        c = QueueController(0, 4, 4, output_depth=1)
+        assert c.push(1)
+        assert not c.push(2)
+        c.take_outgoing()
+        assert c.push(2)
+
+
+class TestIsaxInterface:
+    def test_ma_stage_cheap(self):
+        isax = IsaxInterface(IsaxStyle.MA_STAGE)
+        assert isax.cost(result_used_next=False, back_to_back=False) == 1
+        assert isax.cost(result_used_next=True, back_to_back=False) == 2
+
+    def test_post_commit_expensive(self):
+        isax = IsaxInterface(IsaxStyle.POST_COMMIT)
+        base = isax.cost(result_used_next=False, back_to_back=False)
+        worst = isax.cost(result_used_next=True, back_to_back=True)
+        assert base == 3
+        assert worst == 13  # §III-D: "can extend up to 13 cycles"
+
+    def test_stats_accumulate(self):
+        isax = IsaxInterface(IsaxStyle.POST_COMMIT)
+        isax.cost(True, False)
+        isax.cost(False, True)
+        assert isax.stat_ops == 2
+        assert isax.stat_hazard_cycles > 0
+        assert isax.stat_contention_cycles > 0
+
+    def test_ma_stage_never_slower_than_post_commit(self):
+        ma = IsaxInterface(IsaxStyle.MA_STAGE)
+        pc = IsaxInterface(IsaxStyle.POST_COMMIT)
+        for used in (False, True):
+            for b2b in (False, True):
+                assert ma.cost(used, b2b) < pc.cost(used, b2b)
+
+
+class TestPmcAccelerator:
+    def _make(self, lo=0, hi=1 << 40):
+        q = MessageQueue(32)
+        alerts = []
+        ha = PmcAccelerator(0, q, lambda e, p, c: alerts.append(p),
+                            bound_lo=lo, bound_hi=hi)
+        return ha, q, alerts
+
+    def test_in_bounds_silent(self):
+        ha, q, alerts = self._make()
+        q.push(load_packet(0, addr=0x1000))
+        ha.tick(0)
+        assert not alerts
+        assert ha.event_count == 1
+
+    def test_out_of_bounds_alerts(self):
+        ha, q, alerts = self._make(hi=0x1000)
+        q.push(load_packet(0, addr=0x2000, attack=5))
+        ha.tick(0)
+        assert len(alerts) == 1
+        assert alerts[0].attack_id == 5
+
+    def test_line_rate_drain(self):
+        ha, q, alerts = self._make()
+        for i in range(ha.throughput + 2):
+            q.push(load_packet(i))
+        ha.tick(0)
+        assert len(q) == 2  # throughput packets per cycle
+        ha.tick(1)
+        assert q.empty
+
+    def test_idle(self):
+        ha, q, _ = self._make()
+        assert ha.idle_at(0)
+        q.push(load_packet(0))
+        assert not ha.idle_at(0)
+
+
+class TestShadowStackAccelerator:
+    def _make(self):
+        q = MessageQueue(16)
+        alerts = []
+        ha = ShadowStackAccelerator(0, q,
+                                    lambda e, p, c: alerts.append(p))
+        return ha, q, alerts
+
+    def test_matched_call_ret_silent(self):
+        ha, q, alerts = self._make()
+        q.push(call_packet(0, pc=0x400))
+        q.push(ret_packet(1, target=0x404))
+        ha.tick(0)
+        ha.tick(1)
+        assert not alerts
+
+    def test_hijacked_return_alerts(self):
+        ha, q, alerts = self._make()
+        q.push(call_packet(0, pc=0x400))
+        q.push(ret_packet(1, target=0xDEAD))
+        ha.tick(0)
+        ha.tick(1)
+        assert len(alerts) == 1
+
+    def test_nested_calls(self):
+        ha, q, alerts = self._make()
+        q.push(call_packet(0, pc=0x100))
+        q.push(call_packet(1, pc=0x200))
+        q.push(ret_packet(2, target=0x204))
+        q.push(ret_packet(3, target=0x104))
+        for i in range(4):
+            ha.tick(i)
+        assert not alerts
+
+    def test_underflow_alerts(self):
+        ha, q, alerts = self._make()
+        q.push(ret_packet(0, target=0x104))
+        ha.tick(0)
+        assert len(alerts) == 1
+
+    def test_non_ctrl_packet_ignored(self):
+        ha, q, alerts = self._make()
+        q.push(load_packet(0))
+        ha.tick(0)
+        assert not alerts and ha.stat_packets == 1

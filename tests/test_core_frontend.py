@@ -1,0 +1,275 @@
+"""Unit tests for FireGuard's frontend: packets, mini-filters, the
+data-forwarding channel, and the event filter."""
+
+import pytest
+
+from repro.core.config import DP_FTQ, DP_LSQ, DP_PRF
+from repro.core.event_filter import EventFilter
+from repro.core.forwarding import DataForwardingChannel
+from repro.core.minifilter import FilterEntry, MiniFilter
+from repro.core.packet import (
+    META_ALLOC,
+    META_CALL,
+    META_FREE,
+    META_LOAD,
+    META_RET,
+    META_STORE,
+    OFF_ADDR,
+    OFF_DATA,
+    OFF_META,
+    OFF_PC,
+    Packet,
+)
+from repro.errors import ConfigError
+from repro.isa import opcodes as op
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.ooo.prf import PhysicalRegisterFile
+from repro.trace.record import InstrRecord
+
+
+def load_record(seq=0, addr=0x2000, pc=0x1000):
+    word = encode_instr("ld", rd=5, rs1=8)
+    return InstrRecord(seq=seq, pc=pc, word=word, opcode=op.OP_LOAD,
+                       funct3=3, iclass=InstrClass.LOAD, dst=5, srcs=(8,),
+                       mem_addr=addr, mem_size=8, result=0xABCD)
+
+
+def call_record(seq=0, pc=0x1000, target=0x8000):
+    word = encode_instr("jal", rd=1, imm=0)
+    return InstrRecord(seq=seq, pc=pc, word=word, opcode=op.OP_JAL,
+                       funct3=0, iclass=InstrClass.CALL, dst=1, taken=True,
+                       target=target, result=pc + 4)
+
+
+def alu_record(seq=0):
+    word = encode_instr("add", rd=5, rs1=6, rs2=7)
+    return InstrRecord(seq=seq, pc=0x1000, word=word, opcode=op.OP_OP,
+                       funct3=0, iclass=InstrClass.INT_ALU, dst=5,
+                       srcs=(6, 7))
+
+
+class TestPacket:
+    def test_load_fields(self):
+        pkt = Packet(seq=1, gid=2, record=load_record(), commit_ns=3.5)
+        assert pkt.word(OFF_META) & META_LOAD
+        assert not pkt.word(OFF_META) & META_STORE
+        assert pkt.word(OFF_PC) == 0x1000
+        assert pkt.word(OFF_ADDR) == 0x2000
+        assert pkt.word(OFF_DATA) == 0xABCD
+        assert pkt.commit_ns == 3.5
+
+    def test_gid_in_meta(self):
+        pkt = Packet(seq=0, gid=3, record=load_record(), commit_ns=0.0)
+        assert (pkt.word(OFF_META) >> 8) & 0xFF == 3
+
+    def test_call_carries_target_and_return(self):
+        pkt = Packet(seq=0, gid=2, record=call_record(pc=0x4000,
+                                                      target=0x9000),
+                     commit_ns=0.0)
+        assert pkt.word(OFF_META) & META_CALL
+        assert pkt.word(OFF_ADDR) == 0x9000
+        assert pkt.word(OFF_DATA) == 0x4004
+
+    def test_ret_flag(self):
+        word = encode_instr("jalr", rd=0, rs1=1)
+        rec = InstrRecord(seq=0, pc=0x10, word=word, opcode=op.OP_JALR,
+                          funct3=0, iclass=InstrClass.RET, srcs=(1,),
+                          taken=True, target=0x44)
+        pkt = Packet(seq=0, gid=2, record=rec, commit_ns=0.0)
+        assert pkt.word(OFF_META) & META_RET
+
+    def test_alloc_free_flags(self):
+        word = encode_instr("custom0.f0", rs1=10)
+        rec = InstrRecord(seq=0, pc=0x10, word=word, opcode=op.OP_CUSTOM0,
+                          funct3=0, iclass=InstrClass.CUSTOM,
+                          mem_addr=0x5000, mem_size=64, result=64)
+        pkt = Packet(seq=0, gid=3, record=rec, commit_ns=0.0,
+                     is_alloc=True)
+        assert pkt.word(OFF_META) & META_ALLOC
+        assert pkt.word(OFF_ADDR) == 0x5000
+        assert pkt.word(OFF_DATA) == 64
+        pkt2 = Packet(seq=0, gid=3, record=rec, commit_ns=0.0,
+                      is_free=True)
+        assert pkt2.word(OFF_META) & META_FREE
+
+    def test_invalid_packet(self):
+        pkt = Packet.invalid(7)
+        assert not pkt.valid
+        assert pkt.seq == 7
+
+    def test_word_offsets_are_bitfields(self):
+        pkt = Packet(seq=0, gid=1, record=load_record(addr=0xFF00),
+                     commit_ns=0.0)
+        # Offset 132 reads addr >> 4.
+        assert pkt.word(OFF_ADDR + 4) == 0xFF0
+
+    def test_opcode_funct3_fields(self):
+        pkt = Packet(seq=0, gid=1, record=load_record(), commit_ns=0.0)
+        meta = pkt.word(OFF_META)
+        assert (meta >> 16) & 0x7F == op.OP_LOAD
+        assert (meta >> 23) & 0x7 == 3  # ld funct3
+
+
+class TestMiniFilter:
+    def test_unprogrammed_misses(self):
+        mf = MiniFilter()
+        assert mf.lookup(op.OP_LOAD, 3) is None
+
+    def test_program_and_lookup(self):
+        mf = MiniFilter()
+        entry = FilterEntry(gid=1, dp_sel=DP_LSQ)
+        mf.program(op.OP_LOAD, 3, entry)
+        assert mf.lookup(op.OP_LOAD, 3) is entry
+        assert mf.lookup(op.OP_LOAD, 2) is None
+
+    def test_program_all_funct3(self):
+        mf = MiniFilter()
+        entry = FilterEntry(gid=2, dp_sel=DP_FTQ)
+        mf.program_all_funct3(op.OP_JAL, entry)
+        for funct3 in range(8):
+            assert mf.lookup(op.OP_JAL, funct3) is entry
+
+    def test_shared_table(self):
+        table = [None] * 1024
+        a, b = MiniFilter(table), MiniFilter(table)
+        a.program(op.OP_STORE, 0, FilterEntry(gid=1, dp_sel=DP_LSQ))
+        assert b.lookup(op.OP_STORE, 0) is not None
+
+    def test_clear(self):
+        mf = MiniFilter()
+        mf.program(op.OP_LOAD, 0, FilterEntry(gid=1, dp_sel=DP_PRF))
+        mf.clear()
+        assert mf.lookup(op.OP_LOAD, 0) is None
+
+    def test_stats(self):
+        mf = MiniFilter()
+        mf.program(op.OP_LOAD, 0, FilterEntry(gid=1, dp_sel=DP_PRF))
+        mf.lookup(op.OP_LOAD, 0)
+        mf.lookup(op.OP_STORE, 0)
+        assert mf.stat_lookups == 2 and mf.stat_matches == 1
+
+    def test_entry_validation(self):
+        with pytest.raises(ConfigError):
+            FilterEntry(gid=256, dp_sel=DP_PRF)
+        with pytest.raises(ConfigError):
+            FilterEntry(gid=1, dp_sel=0x8)
+
+    def test_bad_table_size(self):
+        with pytest.raises(ConfigError):
+            MiniFilter([None] * 100)
+
+
+class TestForwardingChannel:
+    def test_prf_preempted_for_prf_data(self):
+        prf = PhysicalRegisterFile(read_ports=4)
+        fwd = DataForwardingChannel(prf)
+        entry = FilterEntry(gid=1, dp_sel=DP_PRF | DP_LSQ)
+        fwd.capture(load_record(), entry, seq=0, cycle=10, commit_ns=0.0)
+        assert prf.stat_preemptions == 1
+        assert fwd.stat_prf_reads == 1
+
+    def test_no_preemption_without_prf_select(self):
+        prf = PhysicalRegisterFile(read_ports=4)
+        fwd = DataForwardingChannel(prf)
+        entry = FilterEntry(gid=1, dp_sel=DP_LSQ)
+        fwd.capture(load_record(), entry, seq=0, cycle=10, commit_ns=0.0)
+        assert prf.stat_preemptions == 0
+
+    def test_ftq_classes_never_preempt(self):
+        # Returns carry no PRF result; FTQ supplies the target.
+        prf = PhysicalRegisterFile(read_ports=4)
+        fwd = DataForwardingChannel(prf)
+        word = encode_instr("jalr", rd=0, rs1=1)
+        rec = InstrRecord(seq=0, pc=0x10, word=word, opcode=op.OP_JALR,
+                          funct3=0, iclass=InstrClass.RET, srcs=(1,),
+                          taken=True, target=0x44)
+        entry = FilterEntry(gid=2, dp_sel=DP_PRF | DP_FTQ)
+        fwd.capture(rec, entry, seq=0, cycle=5, commit_ns=0.0)
+        assert prf.stat_preemptions == 0
+
+    def test_alloc_marker_sets_flag(self):
+        fwd = DataForwardingChannel(None)
+        word = encode_instr("custom0.f0", rs1=10)
+        rec = InstrRecord(seq=0, pc=0x10, word=word, opcode=op.OP_CUSTOM0,
+                          funct3=0, iclass=InstrClass.CUSTOM,
+                          mem_addr=0x100, mem_size=32, result=32)
+        pkt = fwd.capture(rec, FilterEntry(gid=3, dp_sel=DP_PRF), seq=0,
+                          cycle=0, commit_ns=0.0)
+        assert pkt.word(OFF_META) & META_ALLOC
+
+
+def make_filter(width=4, depth=4):
+    fwd = DataForwardingChannel(None)
+    f = EventFilter(width=width, fifo_depth=depth, forwarding=fwd,
+                    high_period_ns=0.3125)
+    f.program(op.OP_LOAD, 3, FilterEntry(gid=1, dp_sel=DP_LSQ))
+    return f
+
+
+class TestEventFilter:
+    def test_monitored_instruction_becomes_packet(self):
+        f = make_filter()
+        assert f.offer(load_record(0), lane=0, cycle=0)
+        pkt = f.arbitrate(1)
+        assert pkt is not None and pkt.valid and pkt.gid == 1
+
+    def test_unmonitored_instruction_skipped_free(self):
+        f = make_filter()
+        f.offer(alu_record(0), lane=0, cycle=0)
+        f.offer(load_record(1), lane=1, cycle=0)
+        # One call yields the load: the invalid packet costs nothing.
+        pkt = f.arbitrate(1)
+        assert pkt is not None and pkt.seq == 1
+
+    def test_commit_order_preserved_across_lanes(self):
+        f = make_filter()
+        f.offer(load_record(0, addr=0xA0), lane=0, cycle=0)
+        f.offer(load_record(1, addr=0xB0), lane=1, cycle=0)
+        f.offer(load_record(2, addr=0xC0), lane=2, cycle=0)
+        addrs = [f.arbitrate(i).addr for i in range(3)]
+        assert addrs == [0xA0, 0xB0, 0xC0]
+
+    def test_one_valid_packet_per_cycle(self):
+        f = make_filter()
+        for i in range(3):
+            f.offer(load_record(i), lane=i, cycle=0)
+        assert f.arbitrate(1) is not None
+        assert f.pending == 2
+
+    def test_fifo_full_rejects(self):
+        f = make_filter(width=1, depth=2)
+        assert f.offer(load_record(0), lane=0, cycle=0)
+        assert f.offer(load_record(1), lane=0, cycle=1)
+        assert not f.offer(load_record(2), lane=0, cycle=2)
+
+    def test_gap_waits_for_in_order_packet(self):
+        f = make_filter(width=2)
+        # Lane 1 receives seq 0's successor first: arbiter must wait.
+        f.offer(load_record(0), lane=0, cycle=0)
+        f.offer(load_record(1), lane=1, cycle=0)
+        first = f.arbitrate(1)
+        second = f.arbitrate(2)
+        assert first.seq < second.seq
+
+    def test_full_cycle_stat(self):
+        f = make_filter(width=1, depth=1)
+        f.offer(load_record(0), lane=0, cycle=0)
+        f.arbitrate(1)
+        assert f.stat_full_cycles >= 1
+
+    def test_lanes_property(self):
+        assert make_filter(width=2).lanes == 2
+
+    def test_counts(self):
+        f = make_filter()
+        f.offer(load_record(0), lane=0, cycle=0)
+        f.offer(alu_record(1), lane=1, cycle=0)
+        assert f.stat_valid_packets == 1
+        assert f.stat_invalid_packets == 1
+
+    def test_invalid_only_drains_to_none(self):
+        f = make_filter()
+        f.offer(alu_record(0), lane=0, cycle=0)
+        assert f.arbitrate(1) is None
+        assert f.pending == 0

@@ -1,0 +1,261 @@
+"""Unit tests for the mapper: distributor, SEs, allocator, CDC,
+multicast channel, and the mesh NoC."""
+
+import pytest
+
+from repro.core.allocator import Allocator, Distributor
+from repro.core.cdc import CdcFifo
+from repro.core.fabric import MulticastChannel
+from repro.core.msgqueue import MessageQueue, WordQueue
+from repro.core.noc import MeshNoc, NocParams
+from repro.core.packet import Packet
+from repro.core.scheduling import SchedulingEngine, SchedulingPolicy
+from repro.errors import ConfigError
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import InstrRecord
+
+
+def packet(seq=0, gid=1):
+    word = encode_instr("ld", rd=5, rs1=8)
+    rec = InstrRecord(seq=seq, pc=0x100, word=word, opcode=0x03, funct3=3,
+                      iclass=InstrClass.LOAD, dst=5, srcs=(8,),
+                      mem_addr=0x1000, mem_size=8)
+    return Packet(seq=seq, gid=gid, record=rec, commit_ns=0.0)
+
+
+class TestDistributor:
+    def test_subscribe_and_query(self):
+        d = Distributor(max_gids=8, num_ses=4)
+        d.subscribe(3, 0)
+        d.subscribe(3, 2)
+        assert d.interested_ses(3) == [0, 2]
+
+    def test_unsubscribe(self):
+        d = Distributor(max_gids=8, num_ses=4)
+        d.subscribe(1, 1)
+        d.unsubscribe(1, 1)
+        assert d.interested_ses(1) == []
+
+    def test_gid_out_of_range(self):
+        d = Distributor(max_gids=4, num_ses=2)
+        with pytest.raises(ConfigError):
+            d.subscribe(4, 0)
+
+    def test_se_out_of_range(self):
+        d = Distributor(max_gids=4, num_ses=2)
+        with pytest.raises(ConfigError):
+            d.subscribe(0, 2)
+
+
+class TestSchedulingEngine:
+    def test_fixed_policy(self):
+        se = SchedulingEngine(0, engines=[3, 5], num_engines_total=8,
+                              policy=SchedulingPolicy.FIXED)
+        assert [se.select() for _ in range(4)] == [3, 3, 3, 3]
+
+    def test_round_robin(self):
+        se = SchedulingEngine(0, engines=[2, 4, 6], num_engines_total=8,
+                              policy=SchedulingPolicy.ROUND_ROBIN)
+        assert [se.select() for _ in range(6)] == [2, 4, 6, 2, 4, 6]
+
+    def test_block_policy_switches_after_block(self):
+        se = SchedulingEngine(0, engines=[0, 1], num_engines_total=2,
+                              policy=SchedulingPolicy.BLOCK, block_size=3)
+        picks = [se.select() for _ in range(9)]
+        assert picks == [0, 0, 0, 1, 1, 1, 0, 0, 0]
+        assert se.stat_block_switches == 2
+
+    def test_ae_bitmap_tracks_selection(self):
+        se = SchedulingEngine(0, engines=[5], num_engines_total=8)
+        se.select()
+        assert se.ae_bitmap.test(5)
+        assert se.ae_bitmap.popcount() == 1
+
+    def test_pt_ct_registers(self):
+        se = SchedulingEngine(0, engines=[0, 1], num_engines_total=2,
+                              policy=SchedulingPolicy.ROUND_ROBIN)
+        se.select()
+        assert se.pt_reg == se.ct_reg
+
+    def test_empty_engine_group_rejected(self):
+        with pytest.raises(ConfigError):
+            SchedulingEngine(0, engines=[], num_engines_total=4)
+
+    def test_engine_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            SchedulingEngine(0, engines=[4], num_engines_total=4)
+
+
+class TestAllocator:
+    def _make(self):
+        d = Distributor(max_gids=8, num_ses=2)
+        ses = [SchedulingEngine(0, engines=[0, 1], num_engines_total=4),
+               SchedulingEngine(1, engines=[2, 3], num_engines_total=4)]
+        d.subscribe(1, 0)
+        d.subscribe(1, 1)
+        d.subscribe(2, 1)
+        return Allocator(d, ses, num_engines=4)
+
+    def test_fanout_to_both_ses(self):
+        alloc = self._make()
+        mask = alloc.route(packet(gid=1))
+        # One engine from each group.
+        assert bin(mask).count("1") == 2
+        assert mask & 0b0011 and mask & 0b1100
+
+    def test_single_se_gid(self):
+        alloc = self._make()
+        mask = alloc.route(packet(gid=2))
+        assert mask & 0b1100 and not mask & 0b0011
+
+    def test_unclaimed_gid_dropped(self):
+        alloc = self._make()
+        assert alloc.route(packet(gid=5)) == 0
+        assert alloc.stat_dropped == 1
+
+    def test_round_robin_rotation_through_mask(self):
+        alloc = self._make()
+        masks = [alloc.route(packet(gid=2)) for _ in range(4)]
+        assert masks == [0b0100, 0b1000, 0b0100, 0b1000]
+
+    def test_se_count_mismatch_rejected(self):
+        d = Distributor(max_gids=4, num_ses=2)
+        with pytest.raises(ConfigError):
+            Allocator(d, [SchedulingEngine(0, [0], 1)], num_engines=1)
+
+
+class TestCdc:
+    def test_push_pop_after_sync_delay(self):
+        cdc = CdcFifo(depth=2, sync_delay_low_cycles=1)
+        assert cdc.push(packet(), 0b1, low_cycle=5)
+        assert cdc.pop(5) is None       # not yet synchronised
+        item = cdc.pop(6)
+        assert item is not None
+        assert item[1] == 0b1
+
+    def test_capacity(self):
+        cdc = CdcFifo(depth=2)
+        assert cdc.push(packet(0), 1, 0)
+        assert cdc.push(packet(1), 1, 0)
+        assert not cdc.push(packet(2), 1, 0)
+        assert cdc.full
+
+    def test_fifo_order(self):
+        cdc = CdcFifo(depth=4, sync_delay_low_cycles=0)
+        cdc.push(packet(0), 1, 0)
+        cdc.push(packet(1), 1, 0)
+        assert cdc.pop(0)[0].seq == 0
+        assert cdc.pop(0)[0].seq == 1
+
+    def test_full_cycle_stat(self):
+        cdc = CdcFifo(depth=1)
+        cdc.push(packet(), 1, 0)
+        cdc.note_cycle(0)
+        assert cdc.stat_full_cycles == 1
+
+    def test_bad_depth(self):
+        with pytest.raises(ConfigError):
+            CdcFifo(depth=0)
+
+
+class TestMulticast:
+    def _queues(self, n=4, depth=2):
+        return [MessageQueue(depth) for _ in range(n)]
+
+    def test_delivers_to_masked_queues(self):
+        queues = self._queues()
+        mc = MulticastChannel(queues)
+        mc.submit(packet(), 0b0101)
+        assert mc.step(0) is not None
+        assert len(queues[0]) == 1 and len(queues[2]) == 1
+        assert len(queues[1]) == 0 and len(queues[3]) == 0
+
+    def test_blocks_until_all_targets_have_room(self):
+        queues = self._queues(n=2, depth=1)
+        queues[1].push(packet(99))
+        mc = MulticastChannel(queues)
+        mc.submit(packet(), 0b11)
+        assert mc.step(0) is None           # queue 1 full: atomic wait
+        assert len(queues[0]) == 0
+        queues[1].pop(0)
+        assert mc.step(1) is not None
+        assert len(queues[0]) == 1 and len(queues[1]) == 1
+
+    def test_busy_rejects_submit(self):
+        mc = MulticastChannel(self._queues(n=1, depth=1))
+        assert mc.submit(packet(0), 0b1)
+        assert not mc.submit(packet(1), 0b1)
+
+    def test_blocked_cycles_stat(self):
+        queues = self._queues(n=1, depth=1)
+        queues[0].push(packet(9))
+        mc = MulticastChannel(queues)
+        mc.submit(packet(), 0b1)
+        mc.step(0)
+        mc.step(1)
+        assert mc.stat_blocked_cycles == 2
+
+
+class TestMeshNoc:
+    def _noc(self, rows=2, cols=2, n=4, depth=4):
+        return MeshNoc(NocParams(rows=rows, cols=cols),
+                       [WordQueue(depth) for _ in range(n)])
+
+    def test_xy_path_shape(self):
+        noc = self._noc(3, 3, 9)
+        path = noc.xy_path(0, 8)  # (0,0) → (2,2)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == 5  # 2 X hops + 2 Y hops + start
+
+    def test_delivery_after_hops(self):
+        noc = self._noc()
+        arrival = noc.send(0, 3, 0xAB, low_cycle=0)
+        assert arrival == 2  # two hops in a 2x2 mesh
+        noc.step(1)
+        assert noc.peer_queues[3].empty
+        noc.step(2)
+        assert noc.peer_queues[3].pop() == 0xAB
+
+    def test_self_send(self):
+        noc = self._noc()
+        noc.send(1, 1, 7, low_cycle=0)
+        noc.step(1)
+        assert noc.peer_queues[1].pop() == 7
+
+    def test_link_contention_serialises(self):
+        noc = self._noc()
+        a = noc.send(0, 1, 1, low_cycle=0)
+        b = noc.send(0, 1, 2, low_cycle=0)
+        assert b > a
+
+    def test_full_peer_queue_retries(self):
+        noc = self._noc(depth=1)
+        noc.send(0, 1, 1, low_cycle=0)
+        noc.send(0, 1, 2, low_cycle=0)
+        for cycle in range(6):
+            noc.step(cycle)
+        assert noc.peer_queues[1].pop() == 1
+        assert not noc.idle          # word 2 still waiting
+        noc.step(7)
+        assert noc.peer_queues[1].pop() == 2
+        assert noc.idle
+
+    def test_in_order_same_pair(self):
+        noc = self._noc()
+        noc.send(0, 3, 1, low_cycle=0)
+        noc.send(0, 3, 2, low_cycle=0)
+        for cycle in range(8):
+            noc.step(cycle)
+        q = noc.peer_queues[3]
+        assert q.pop() == 1 and q.pop() == 2
+
+    def test_too_many_engines_rejected(self):
+        with pytest.raises(ConfigError):
+            MeshNoc(NocParams(rows=1, cols=1),
+                    [WordQueue(2), WordQueue(2)])
+
+    def test_mean_hops(self):
+        noc = self._noc()
+        noc.send(0, 3, 1, 0)
+        assert noc.mean_hops() == pytest.approx(2.0)

@@ -1,0 +1,130 @@
+"""Smoke tests for the experiment harnesses (reduced scale)."""
+
+import pytest
+
+from repro.analysis.metrics import SlowdownTable
+from repro.experiments import fig7a, fig7b, fig8, fig9, fig10, fig11
+from repro.experiments import table2, table3
+from repro.experiments.__main__ import main as cli_main
+from repro.trace.attacks import AttackKind
+
+BENCH = ("swaptions",)          # one fast benchmark for smoke runs
+
+
+class TestFig7a:
+    def test_runs_and_has_all_columns(self):
+        table = fig7a.run(benchmarks=BENCH)
+        assert isinstance(table, SlowdownTable)
+        names = {c for c, _, _ in fig7a.FIREGUARD_COLUMNS}
+        names |= {c for c, _ in fig7a.SOFTWARE_COLUMNS}
+        assert set(table.schemes) == names
+
+    def test_ha_beats_ucores(self):
+        table = fig7a.run(benchmarks=BENCH)
+        assert table.get("swaptions", "pmc_fg_ha") \
+            <= table.get("swaptions", "pmc_fg_4uc") + 0.01
+
+    def test_fireguard_asan_beats_software(self):
+        table = fig7a.run(benchmarks=BENCH)
+        assert table.get("swaptions", "asan_fg_4uc") \
+            < table.get("swaptions", "asan_sw_aarch64")
+
+
+class TestFig7b:
+    def test_combined_runs(self):
+        table = fig7b.run(benchmarks=BENCH)
+        assert table.get("swaptions", "ss+pmc") >= 1.0
+        assert len(table.schemes) == len(fig7b.COMBINATIONS)
+
+
+class TestFig8:
+    def test_detection_rows(self):
+        row = fig8.run_one("swaptions", "pmc", AttackKind.PMC_BOUND,
+                           attacks=10, length=8000)
+        assert row.injected == 10
+        assert row.detected >= 8
+        assert row.summary is not None
+        assert row.summary.minimum > 0
+
+    def test_row_render(self):
+        row = fig8.run_one("swaptions", "shadow_stack",
+                           AttackKind.RET_HIJACK, attacks=5, length=8000)
+        rendered = row.as_row()
+        assert rendered[0] == "swaptions"
+        assert len(rendered) == 8
+
+
+class TestFig9:
+    def test_reports_for_all_widths(self):
+        reports = fig9.run(benchmarks=BENCH)
+        widths = {r.filter_width for r in reports}
+        assert widths == {1, 2, 4}
+
+    def test_narrower_never_faster(self):
+        reports = fig9.run(benchmarks=BENCH)
+        by_width = {r.filter_width: r.slowdown for r in reports}
+        assert by_width[1] >= by_width[4] - 1e-9
+
+    def test_geomeans(self):
+        reports = fig9.run(benchmarks=BENCH)
+        gms = fig9.width_geomeans(reports)
+        assert set(gms) == {1, 2, 4}
+
+
+class TestFig10:
+    def test_sweep_monotone_for_asan(self):
+        table = fig10.run("asan", benchmarks=("x264",), counts=(2, 4, 8))
+        s2 = table.get("x264", "2uc")
+        s8 = table.get("x264", "8uc")
+        assert s2 >= s8
+
+    def test_pmc_sweep(self):
+        table = fig10.run("pmc", benchmarks=BENCH, counts=(2, 4))
+        assert table.get("swaptions", "2uc") >= 1.0
+
+
+class TestFig11:
+    def test_all_strategies_present(self):
+        table = fig11.run(benchmarks=BENCH)
+        assert set(table.schemes) == {"conventional", "duff", "unrolled",
+                                      "hybrid"}
+
+    def test_conventional_worst(self):
+        table = fig11.run(benchmarks=("x264",))
+        conv = table.get("x264", "conventional")
+        hybrid = table.get("x264", "hybrid")
+        assert conv >= hybrid
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = table2.run()
+        assert rows[0] == ["parameter", "paper", "model"]
+        assert len(rows) > 15
+
+    def test_table3_rows(self):
+        per_core, per_soc = table3.run()
+        assert len(per_core) == 5  # header + 4 processors
+        assert len(per_soc) == 5   # header + 4 SoCs
+
+    def test_table2_main_prints(self, capsys):
+        table2.main()
+        assert "ROB" in capsys.readouterr().out
+
+    def test_table3_main_prints(self, capsys):
+        table3.main()
+        out = capsys.readouterr().out
+        assert "FireStorm" in out and "M1-Pro" in out
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "fig7a" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert cli_main(["nope"]) == 2
+
+    def test_dispatch_table2(self, capsys):
+        assert cli_main(["table2"]) == 0
+        assert "parameter" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for the superscalar mapper option (§III-C footnote 5)."""
+
+import pytest
+
+from repro.core.config import FireGuardConfig
+from repro.core.fabric import MulticastChannel
+from repro.core.msgqueue import MessageQueue
+from repro.core.packet import Packet
+from repro.core.system import FireGuardSystem
+from repro.errors import ConfigError
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.kernels import make_kernel
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.record import InstrRecord
+
+
+def packet(seq=0):
+    word = encode_instr("ld", rd=5, rs1=8)
+    rec = InstrRecord(seq=seq, pc=0x100, word=word, opcode=0x03, funct3=3,
+                      iclass=InstrClass.LOAD, mem_addr=0x1000, mem_size=8)
+    return Packet(seq=seq, gid=1, record=rec, commit_ns=0.0)
+
+
+class TestWideMulticast:
+    def _queues(self, n=4, depth=4):
+        return [MessageQueue(depth) for _ in range(n)]
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigError):
+            MulticastChannel(self._queues(), width=0)
+
+    def test_two_disjoint_multicasts_same_cycle(self):
+        queues = self._queues()
+        mc = MulticastChannel(queues, width=2)
+        assert mc.submit(packet(0), 0b0001)
+        assert mc.submit(packet(1), 0b0010)
+        assert mc.busy
+        mc.step(0)
+        assert len(queues[0]) == 1 and len(queues[1]) == 1
+        assert not mc.draining
+
+    def test_same_target_conflicts_serialise(self):
+        queues = self._queues()
+        mc = MulticastChannel(queues, width=2)
+        mc.submit(packet(0), 0b0001)
+        mc.submit(packet(1), 0b0001)
+        mc.step(0)
+        assert len(queues[0]) == 1          # second waits a cycle
+        assert mc.stat_port_conflicts == 1
+        mc.step(1)
+        assert len(queues[0]) == 2
+
+    def test_blocked_head_blocks_tail(self):
+        queues = self._queues(depth=1)
+        queues[0].push(packet(9))           # target full
+        mc = MulticastChannel(queues, width=2)
+        mc.submit(packet(0), 0b0001)
+        mc.submit(packet(1), 0b0010)
+        mc.step(0)
+        # In-order delivery: packet 1 must not overtake packet 0.
+        assert len(queues[1]) == 0
+
+    def test_width_one_matches_scalar_behaviour(self):
+        queues = self._queues()
+        mc = MulticastChannel(queues, width=1)
+        assert mc.submit(packet(0), 0b0001)
+        assert not mc.submit(packet(1), 0b0010)
+        mc.step(0)
+        assert mc.submit(packet(1), 0b0010)
+
+
+class TestSystemMapperWidth:
+    def test_superscalar_mapper_runs(self):
+        trace = generate_trace(PARSEC_PROFILES["swaptions"], seed=17,
+                               length=4000)
+        config = FireGuardConfig(mapper_width=2)
+        result = FireGuardSystem([make_kernel("pmc")],
+                                 config=config).run(trace)
+        assert result.committed == len(trace.records)
+        assert result.packets_delivered == result.packets_filtered
+
+    def test_wider_mapper_never_slower(self):
+        trace = generate_trace(PARSEC_PROFILES["x264"], seed=17,
+                               length=5000)
+        scalar = FireGuardSystem(
+            [make_kernel("asan")],
+            config=FireGuardConfig(mapper_width=1)).run(trace)
+        wide = FireGuardSystem(
+            [make_kernel("asan")],
+            config=FireGuardConfig(mapper_width=2)).run(trace)
+        assert wide.cycles <= scalar.cycles * 1.01

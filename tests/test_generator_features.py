@@ -1,0 +1,137 @@
+"""Tests for the trace generator's calibration features: loop-counter
+chains, allocation memsets, cold-streaming bursts, warm-region metadata."""
+
+from repro.isa.opcodes import InstrClass
+from repro.trace.generator import (
+    GLOBAL_BASE,
+    LINE_BYTES,
+    TraceGenerator,
+    generate_trace,
+)
+from repro.trace.profiles import PARSEC_PROFILES
+
+
+def trace_for(name="dedup", seed=23, length=8000):
+    return generate_trace(PARSEC_PROFILES[name], seed=seed, length=length)
+
+
+class TestCounterChain:
+    def test_counter_register_updates_present(self):
+        trace = trace_for()
+        counters = [r for r in trace.records
+                    if r.dst == TraceGenerator._COUNTER_REG]
+        assert counters
+        for rec in counters:
+            assert rec.srcs == (TraceGenerator._COUNTER_REG,)
+
+    def test_branches_mostly_read_counter(self):
+        trace = trace_for()
+        branches = [r for r in trace.records
+                    if r.iclass is InstrClass.BRANCH]
+        counter_reads = sum(
+            1 for r in branches
+            if TraceGenerator._COUNTER_REG in r.srcs)
+        assert counter_reads > len(branches) * 0.6
+
+    def test_counter_never_written_by_other_instructions(self):
+        trace = trace_for()
+        for rec in trace.records:
+            if rec.dst == TraceGenerator._COUNTER_REG:
+                assert rec.srcs == (TraceGenerator._COUNTER_REG,)
+
+
+class TestAllocationMemset:
+    def test_alloc_followed_by_init_stores(self):
+        trace = trace_for("dedup")
+        records = trace.records
+        for i, rec in enumerate(records[:-2]):
+            if rec.iclass is InstrClass.CUSTOM and rec.funct3 == 0:
+                nxt = records[i + 1]
+                if nxt.iclass is InstrClass.STORE:
+                    # Memset store lands at the new object's base.
+                    assert nxt.mem_addr == rec.mem_addr
+                    break
+        else:
+            raise AssertionError("no alloc found")
+
+    def test_memset_lines_sequential(self):
+        trace = trace_for("fluidanimate")
+        records = trace.records
+        for i, rec in enumerate(records):
+            if rec.iclass is InstrClass.CUSTOM and rec.funct3 == 0 \
+                    and rec.mem_size >= 3 * LINE_BYTES:
+                stores = []
+                for nxt in records[i + 1:i + 60]:
+                    if (nxt.iclass is InstrClass.STORE
+                            and nxt.mem_addr is not None
+                            and rec.mem_addr <= nxt.mem_addr
+                            < rec.mem_addr + rec.mem_size):
+                        stores.append(nxt.mem_addr)
+                    else:
+                        break
+                if len(stores) >= 3:
+                    deltas = {b - a for a, b in zip(stores, stores[1:])}
+                    assert deltas == {LINE_BYTES}
+                    return
+        # Large allocations exist in fluidanimate (mean 2 KB).
+        raise AssertionError("no multi-line memset found")
+
+    def test_heap_accesses_within_initialised_prefix(self):
+        trace = trace_for("streamcluster", length=10000)
+        by_base = {o.base: o for o in trace.objects}
+        for rec in trace.records:
+            if not rec.is_mem or rec.mem_addr is None:
+                continue
+            if rec.mem_addr < trace.heap_base:
+                continue
+            for obj in trace.objects:
+                if obj.contains(rec.mem_addr):
+                    assert rec.mem_addr < obj.base + max(
+                        obj.size, 8)
+                    assert (rec.mem_addr - obj.base
+                            < 32 * LINE_BYTES + obj.size % 8 + 8
+                            or obj.size <= 32 * LINE_BYTES)
+                    break
+
+
+class TestColdBursts:
+    def test_cold_accesses_come_in_sequential_runs(self):
+        trace = trace_for("streamcluster", length=20000)
+        warm_lines = (trace.warm_end - trace.global_base) // LINE_BYTES
+        cold = [r.mem_addr for r in trace.records
+                if r.is_mem and r.mem_addr is not None
+                and trace.global_base <= r.mem_addr < trace.global_end
+                and (r.mem_addr - GLOBAL_BASE) // LINE_BYTES >= warm_lines]
+        if len(cold) < 8:
+            return  # profile generated few cold accesses at this seed
+        lines = [(a - GLOBAL_BASE) // LINE_BYTES for a in cold]
+        sequential = sum(1 for a, b in zip(lines, lines[1:])
+                         if b == a + 1)
+        assert sequential >= len(lines) * 0.4
+
+    def test_warm_end_metadata(self):
+        trace = trace_for()
+        assert trace.global_base < trace.warm_end <= trace.global_end
+        assert (trace.warm_end - trace.global_base) % LINE_BYTES == 0
+
+
+class TestWarmup:
+    def test_warmup_prefills_warm_region(self):
+        from repro.ooo.core import MainCore
+
+        trace = trace_for(length=4000)
+        core = MainCore()
+        core.begin(trace)
+        assert core.hierarchy.l2.contains(trace.global_base)
+        assert core.hierarchy.llc.contains(trace.warm_end - LINE_BYTES)
+
+    def test_warmup_identical_for_baseline_and_monitored(self):
+        from repro.core.system import FireGuardSystem, run_baseline
+        from repro.kernels import make_kernel
+
+        trace = trace_for("swaptions", length=4000)
+        base1 = run_baseline(trace)
+        base2 = run_baseline(trace)
+        assert base1 == base2
+        result = FireGuardSystem([make_kernel("pmc")]).run(trace)
+        assert result.cycles >= base1 * 0.99

@@ -1,0 +1,203 @@
+"""Unit tests for the RISC-V ISA substrate."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import opcodes as op
+from repro.isa.decode import decode, encode_instr
+from repro.isa.encoding import (
+    decode_b_imm,
+    decode_i_imm,
+    decode_j_imm,
+    decode_s_imm,
+    decode_u_imm,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+from repro.isa.filter_index import (
+    FILTER_TABLE_SIZE,
+    filter_index,
+    split_filter_index,
+)
+from repro.isa.opcodes import InstrClass, classify
+from repro.isa.registers import reg_name, reg_number
+
+
+class TestEncodingRoundTrips:
+    def test_i_imm_roundtrip(self):
+        for imm in (-2048, -1, 0, 1, 2047):
+            word = encode_i(op.OP_OP_IMM, 5, 0, 6, imm)
+            assert decode_i_imm(word) == imm
+
+    def test_s_imm_roundtrip(self):
+        for imm in (-2048, -7, 0, 9, 2047):
+            word = encode_s(op.OP_STORE, 3, 10, 11, imm)
+            assert decode_s_imm(word) == imm
+
+    def test_b_imm_roundtrip(self):
+        for imm in (-4096, -2, 0, 2, 4094):
+            word = encode_b(op.OP_BRANCH, 1, 5, 6, imm)
+            assert decode_b_imm(word) == imm
+
+    def test_u_imm_roundtrip(self):
+        for imm in (0, 1, 0xFFFFF):
+            word = encode_u(op.OP_LUI, 7, imm)
+            assert decode_u_imm(word) == imm
+
+    def test_j_imm_roundtrip(self):
+        for imm in (-(1 << 20), -2, 0, 2, (1 << 20) - 2):
+            word = encode_j(op.OP_JAL, 1, imm)
+            assert decode_j_imm(word) == imm
+
+    def test_b_imm_odd_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_b(op.OP_BRANCH, 0, 1, 2, 3)
+
+    def test_j_imm_odd_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_j(op.OP_JAL, 1, 5)
+
+    def test_register_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode_r(op.OP_OP, 32, 0, 0, 0, 0)
+
+    def test_imm_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode_i(op.OP_OP_IMM, 1, 0, 1, 2048)
+
+
+class TestDecode:
+    def test_lb_fields(self):
+        word = encode_instr("lb", rd=5, rs1=10, imm=-4)
+        d = decode(word)
+        assert d.mnemonic == "lb"
+        assert d.opcode == op.OP_LOAD
+        assert d.funct3 == op.F3_LB
+        assert d.rd == 5 and d.rs1 == 10 and d.imm == -4
+        assert d.iclass is InstrClass.LOAD
+
+    def test_sb_fields(self):
+        d = decode(encode_instr("sb", rs1=11, rs2=12, imm=8))
+        assert d.mnemonic == "sb"
+        assert d.opcode == op.OP_STORE
+        assert d.iclass is InstrClass.STORE
+
+    def test_add_vs_sub_funct7(self):
+        assert decode(encode_instr("add", rd=1, rs1=2, rs2=3)).mnemonic \
+            == "add"
+        assert decode(encode_instr("sub", rd=1, rs1=2, rs2=3)).mnemonic \
+            == "sub"
+
+    def test_mul_is_muldiv_class(self):
+        d = decode(encode_instr("mul", rd=5, rs1=6, rs2=7))
+        assert d.iclass is InstrClass.INT_MUL
+
+    def test_div_class(self):
+        d = decode(encode_instr("div", rd=5, rs1=6, rs2=7))
+        assert d.iclass is InstrClass.INT_DIV
+
+    def test_jal_ra_is_call(self):
+        d = decode(encode_instr("jal", rd=1, imm=0))
+        assert d.iclass is InstrClass.CALL
+
+    def test_jal_x0_is_jump(self):
+        d = decode(encode_instr("jal", rd=0, imm=0))
+        assert d.iclass is InstrClass.JUMP
+
+    def test_jalr_ra_return(self):
+        d = decode(encode_instr("jalr", rd=0, rs1=1, imm=0))
+        assert d.iclass is InstrClass.RET
+
+    def test_branch_class(self):
+        d = decode(encode_instr("bne", rs1=5, rs2=6, imm=8))
+        assert d.iclass is InstrClass.BRANCH
+        assert d.mnemonic == "bne"
+
+    def test_custom0_class(self):
+        d = decode(encode_instr("custom0.f1", rs1=10))
+        assert d.iclass is InstrClass.CUSTOM
+        assert d.opcode == op.OP_CUSTOM0
+        assert d.funct3 == 1
+
+    def test_unknown_word_does_not_raise(self):
+        d = decode(0xFFFFFFFF)
+        assert d.mnemonic in ("unknown", "custom1.f7")
+
+    def test_word_out_of_range_raises(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(EncodingError):
+            encode_instr("bogus")
+
+    def test_disassemble_smoke(self):
+        text = decode(encode_instr("ld", rd=5, rs1=8, imm=16)).disassemble()
+        assert "ld" in text and "t0" in text and "s0" in text
+
+
+class TestClassify:
+    def test_fp_opcode(self):
+        assert classify(op.OP_OP_FP, 0) is InstrClass.FP_ALU
+
+    def test_fence(self):
+        assert classify(op.OP_MISC_MEM, 0) is InstrClass.FENCE
+
+    def test_system_csr(self):
+        assert classify(op.OP_SYSTEM, 1) is InstrClass.CSR
+        assert classify(op.OP_SYSTEM, 0) is InstrClass.SYSTEM
+
+    def test_amo_is_load(self):
+        assert classify(op.OP_AMO, 2) is InstrClass.LOAD
+
+
+class TestFilterIndex:
+    def test_paper_examples(self):
+        # §III-B: 0x03 and 0x23 index lb and sb respectively.
+        assert filter_index(op.OP_LOAD, 0) == 0x03
+        assert filter_index(op.OP_STORE, 0) == 0x23
+
+    def test_funct3_in_high_bits(self):
+        assert filter_index(op.OP_LOAD, 3) == (3 << 7) | 0x03
+
+    def test_table_size(self):
+        assert FILTER_TABLE_SIZE == 1024
+
+    def test_roundtrip_all(self):
+        for opcode in (0x03, 0x23, 0x63, 0x7F):
+            for funct3 in range(8):
+                idx = filter_index(opcode, funct3)
+                assert split_filter_index(idx) == (opcode, funct3)
+
+    def test_range_checks(self):
+        with pytest.raises(EncodingError):
+            filter_index(0x80, 0)
+        with pytest.raises(EncodingError):
+            filter_index(0x03, 8)
+        with pytest.raises(EncodingError):
+            split_filter_index(1024)
+
+
+class TestRegisters:
+    def test_abi_roundtrip(self):
+        for i in range(32):
+            assert reg_number(reg_name(i)) == i
+
+    def test_x_names(self):
+        assert reg_number("x17") == 17
+
+    def test_fp_alias(self):
+        assert reg_number("fp") == 8
+        assert reg_number("s0") == 8
+
+    def test_unknown_raises(self):
+        with pytest.raises(EncodingError):
+            reg_number("q3")
+
+    def test_bad_number_raises(self):
+        with pytest.raises(EncodingError):
+            reg_name(32)

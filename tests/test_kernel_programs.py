@@ -1,0 +1,223 @@
+"""µcore-level unit tests of the guardian-kernel programs themselves:
+each kernel's assembly is executed on a bare MicroCore against crafted
+packets, isolating kernel semantics from the full system."""
+
+import pytest
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxInterface, IsaxStyle
+from repro.core.msgqueue import QueueController
+from repro.core.packet import Packet
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.kernels import AsanKernel, PmcKernel, UafKernel
+from repro.kernels.asan import (
+    FREE_DELAY_PACKETS,
+    POISON_FREED,
+    POISON_LEFT,
+    POISON_RIGHT,
+)
+from repro.kernels.base import SHADOW_BASE, KernelStrategy
+from repro.trace.record import InstrRecord
+from repro.ucore.assembler import assemble
+from repro.ucore.core import MicroCore, UcoreMemory
+
+HEAP = 0x0000_0002_0000_0000
+
+
+def mem_packet(seq, addr, is_store=False):
+    mnemonic = "sd" if is_store else "ld"
+    word = encode_instr(mnemonic, rd=0 if is_store else 5, rs1=8,
+                        rs2=6 if is_store else 0)
+    iclass = InstrClass.STORE if is_store else InstrClass.LOAD
+    rec = InstrRecord(seq=seq, pc=0x100 + seq * 4, word=word,
+                      opcode=0x23 if is_store else 0x03, funct3=3,
+                      iclass=iclass, mem_addr=addr, mem_size=8)
+    return Packet(seq=seq, gid=1, record=rec, commit_ns=0.0)
+
+
+def event_packet(seq, base, size, is_free=False):
+    word = encode_instr("custom0.f1" if is_free else "custom0.f0",
+                        rs1=10)
+    rec = InstrRecord(seq=seq, pc=0x100, word=word, opcode=0x0B,
+                      funct3=1 if is_free else 0,
+                      iclass=InstrClass.CUSTOM, mem_addr=base,
+                      mem_size=size, result=size)
+    return Packet(seq=seq, gid=3, record=rec, commit_ns=0.0,
+                  is_alloc=not is_free, is_free=is_free)
+
+
+class KernelHarness:
+    """Bare µcore running one kernel program."""
+
+    def __init__(self, kernel, engine_id=0):
+        config = FireGuardConfig()
+        self.ctrl = QueueController(engine_id, input_depth=64,
+                                    peer_depth=16)
+        self.memory = UcoreMemory(config)
+        self.alerts = []
+        self.core = MicroCore(
+            engine_id=engine_id, program=assemble(kernel.program_source()),
+            controller=self.ctrl, memory=self.memory, config=config,
+            isax=IsaxInterface(IsaxStyle.MA_STAGE),
+            on_alert=lambda e, c, t: self.alerts.append(c))
+        self.core.preset_registers(
+            kernel.preset_registers(engine_id, [engine_id], 0))
+        self._cycle = 0
+
+    def push(self, packet):
+        # Tick the core while the queue is full (back-pressure).
+        for _ in range(200_000):
+            if self.ctrl.input_queue.push(packet):
+                return
+            self.core.tick(self._cycle)
+            self._cycle += 1
+        raise AssertionError("input queue never drained")
+
+    def run_until_idle(self, budget=100_000):
+        start = self._cycle
+        while self._cycle < start + budget:
+            self.core.tick(self._cycle)
+            self._cycle += 1
+            if self.core.idle_at(self._cycle) \
+                    and self.ctrl.input_queue.empty:
+                return
+        raise AssertionError("kernel did not go idle")
+
+    def shadow(self, addr, base=SHADOW_BASE):
+        return self.memory.data.load(base + (addr >> 4), 1)
+
+
+class TestAsanProgram:
+    def test_alloc_poisons_redzones(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP + 0x100, 64))
+        h.run_until_idle()
+        assert h.shadow(HEAP + 0x100 - 16) == POISON_LEFT
+        assert h.shadow(HEAP + 0x100 + 64) == POISON_RIGHT
+        for off in range(0, 64, 16):
+            assert h.shadow(HEAP + 0x100 + off) == 0
+
+    def test_clean_access_no_alert(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP, 64))
+        h.push(mem_packet(1, HEAP + 8))
+        h.run_until_idle()
+        assert not h.alerts
+
+    def test_redzone_access_alerts(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP, 64))
+        h.push(mem_packet(1, HEAP + 64 + 1))  # right redzone
+        h.run_until_idle()
+        assert h.alerts == [1]
+
+    def test_left_redzone_alerts(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP + 0x40, 32))
+        h.push(mem_packet(1, HEAP + 0x40 - 8))
+        h.run_until_idle()
+        assert h.alerts == [1]
+
+    def test_free_poisoning_deferred_then_lands(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP, 64))
+        h.push(event_packet(1, HEAP, 64, is_free=True))
+        h.run_until_idle()
+        # Not yet aged: body still clean.
+        assert h.shadow(HEAP) == 0
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(2 + i, HEAP + 0x9000))
+        h.run_until_idle()
+        assert h.shadow(HEAP) == POISON_FREED
+        assert h.shadow(HEAP + 48) == POISON_FREED
+
+    def test_use_after_free_alerts_after_ageing(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP, 64))
+        h.push(event_packet(1, HEAP, 64, is_free=True))
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(2 + i, HEAP + 0x9000))
+        h.push(mem_packet(99, HEAP + 16))  # dangling access
+        h.run_until_idle()
+        assert 1 in h.alerts
+
+    def test_second_free_flushes_first(self):
+        h = KernelHarness(AsanKernel())
+        h.push(event_packet(0, HEAP, 64))
+        h.push(event_packet(1, HEAP + 0x1000, 32))
+        h.push(event_packet(2, HEAP, 64, is_free=True))
+        h.push(event_packet(3, HEAP + 0x1000, 32, is_free=True))
+        h.run_until_idle()
+        # First free was flushed when the second arrived.
+        assert h.shadow(HEAP) == POISON_FREED
+
+
+class TestUafProgram:
+    BASE = SHADOW_BASE + UafKernel.SHADOW_OFFSET
+
+    def test_quarantine_poison_after_ageing(self):
+        h = KernelHarness(UafKernel())
+        h.push(event_packet(0, HEAP, 64, is_free=True))
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(1 + i, HEAP + 0x9000))
+        h.run_until_idle()
+        assert h.shadow(HEAP, base=self.BASE) == 0xFD
+
+    def test_dangling_access_alerts(self):
+        h = KernelHarness(UafKernel())
+        h.push(event_packet(0, HEAP, 64, is_free=True))
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(1 + i, HEAP + 0x9000))
+        h.push(mem_packet(99, HEAP + 32))
+        h.run_until_idle()
+        assert 4 in h.alerts
+
+    def test_realloc_clears_quarantine(self):
+        h = KernelHarness(UafKernel())
+        h.push(event_packet(0, HEAP, 64, is_free=True))
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(1 + i, HEAP + 0x9000))
+        h.push(event_packet(80, HEAP, 64))  # reallocation
+        h.push(mem_packet(81, HEAP + 8))
+        h.run_until_idle()
+        assert 4 not in h.alerts
+
+    def test_ring_release_unpoisons_oldest(self):
+        from repro.kernels.uaf import RING_ENTRIES
+        h = KernelHarness(UafKernel())
+        # Fill the ring + 1: the first region must be released.
+        first_base = HEAP
+        for i in range(RING_ENTRIES + 2):
+            h.push(event_packet(i, HEAP + i * 0x100, 16, is_free=True))
+        for i in range(FREE_DELAY_PACKETS + 2):
+            h.push(mem_packet(1000 + i, HEAP + 0x90000))
+        h.run_until_idle()
+        assert h.shadow(first_base, base=self.BASE) == 0
+
+
+class TestPmcProgram:
+    @pytest.mark.parametrize("strategy", list(KernelStrategy))
+    def test_bound_violation_alerts(self, strategy):
+        h = KernelHarness(PmcKernel(strategy=strategy))
+        h.push(mem_packet(0, 0x1000))               # in bounds
+        h.push(mem_packet(1, 0xF000_0000_0000))     # out of bounds
+        h.push(mem_packet(2, 0x2000))
+        h.push(mem_packet(3, 0x3000))
+        h.run_until_idle()
+        assert h.alerts.count(2) == 1
+
+    @pytest.mark.parametrize("strategy", list(KernelStrategy))
+    def test_in_bounds_silent(self, strategy):
+        h = KernelHarness(PmcKernel(strategy=strategy))
+        for i in range(8):
+            h.push(mem_packet(i, 0x1000 + i * 64))
+        h.run_until_idle()
+        assert not h.alerts
+
+    def test_event_counter_increments(self):
+        h = KernelHarness(PmcKernel(strategy=KernelStrategy.HYBRID))
+        for i in range(6):
+            h.push(mem_packet(i, 0x1000))
+        h.run_until_idle()
+        assert h.core.regs[21] == 6  # s5 counts monitored events

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.event_filter import EventFilter
+from repro.core.forwarding import DataForwardingChannel
+from repro.core.minifilter import FilterEntry
+from repro.core.msgqueue import MessageQueue
+from repro.core.noc import MeshNoc, NocParams
+from repro.core.msgqueue import WordQueue
+from repro.core.packet import OFF_ADDR, OFF_DATA, OFF_PC, Packet
+from repro.isa import opcodes as op
+from repro.isa.decode import decode, encode_instr
+from repro.isa.encoding import (
+    decode_b_imm,
+    decode_i_imm,
+    decode_s_imm,
+    encode_b,
+    encode_i,
+    encode_s,
+)
+from repro.isa.filter_index import filter_index, split_filter_index
+from repro.isa.opcodes import InstrClass
+from repro.mem.sparse import SparseMemory
+from repro.trace.record import InstrRecord
+from repro.utils.bitfield import Bitmap, sign_extend
+from repro.utils.rng import DeterministicRng
+from repro.utils.stats import geomean, percentile
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestEncodingProperties:
+    @given(rd=regs, rs1=regs, imm=imm12)
+    def test_i_format_roundtrip(self, rd, rs1, imm):
+        word = encode_i(op.OP_OP_IMM, rd, 0, rs1, imm)
+        assert decode_i_imm(word) == imm
+        d = decode(word)
+        assert d.rd == rd and d.rs1 == rs1
+
+    @given(rs1=regs, rs2=regs, imm=imm12)
+    def test_s_format_roundtrip(self, rs1, rs2, imm):
+        word = encode_s(op.OP_STORE, 0, rs1, rs2, imm)
+        assert decode_s_imm(word) == imm
+
+    @given(rs1=regs, rs2=regs,
+           imm=st.integers(min_value=-2048, max_value=2047))
+    def test_b_format_roundtrip(self, rs1, rs2, imm):
+        word = encode_b(op.OP_BRANCH, 1, rs1, rs2, imm * 2)
+        assert decode_b_imm(word) == imm * 2
+
+    @given(opcode=st.integers(min_value=0, max_value=0x7F),
+           funct3=st.integers(min_value=0, max_value=7))
+    def test_filter_index_bijection(self, opcode, funct3):
+        assert split_filter_index(filter_index(opcode, funct3)) \
+            == (opcode, funct3)
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_sign_extend_preserves_low_bits(self, value):
+        extended = sign_extend(value, 12)
+        assert extended & 0xFFF == value
+
+
+class TestBitmapProperties:
+    @given(bits_to_set=st.lists(st.integers(min_value=0, max_value=15),
+                                max_size=20))
+    def test_set_bits_match(self, bits_to_set):
+        bm = Bitmap(16)
+        for b in bits_to_set:
+            bm.set(b)
+        assert sorted(set(bits_to_set)) == list(bm.set_bits())
+        assert bm.popcount() == len(set(bits_to_set))
+
+    @given(a=st.integers(min_value=0, max_value=0xFFFF),
+           b=st.integers(min_value=0, max_value=0xFFFF))
+    def test_or_is_union(self, a, b):
+        x, y = Bitmap(16, a), Bitmap(16, b)
+        x.or_with(y)
+        assert x.value == a | b
+
+
+class TestSparseMemoryProperties:
+    @given(addr=st.integers(min_value=0, max_value=(1 << 48)),
+           value=u64,
+           size=st.sampled_from([1, 2, 4, 8]))
+    def test_store_load_roundtrip(self, addr, value, size):
+        mem = SparseMemory()
+        mem.store(addr, value, size)
+        assert mem.load(addr, size) == value & ((1 << (8 * size)) - 1)
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 32),
+           v1=u64, v2=u64)
+    def test_disjoint_stores_independent(self, addr, v1, v2):
+        mem = SparseMemory()
+        mem.store(addr, v1, 8)
+        mem.store(addr + 8, v2, 8)
+        assert mem.load(addr, 8) == v1
+        assert mem.load(addr + 8, 8) == v2
+
+
+class TestStatsProperties:
+    @given(values=st.lists(st.floats(min_value=0.1, max_value=100.0),
+                           min_size=1, max_size=30))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6),
+                           min_size=1, max_size=50),
+           pct=st.floats(min_value=0, max_value=100))
+    def test_percentile_within_range(self, values, pct):
+        p = percentile(values, pct)
+        assert min(values) <= p <= max(values)
+
+
+class TestRngProperties:
+    @given(seed=u64)
+    def test_streams_reproducible(self, seed):
+        a, b = DeterministicRng(seed), DeterministicRng(seed)
+        assert [a.next_u64() for _ in range(5)] \
+            == [b.next_u64() for _ in range(5)]
+
+    @given(seed=u64, lo=st.integers(-1000, 1000),
+           span=st.integers(0, 1000))
+    def test_randint_in_bounds(self, seed, lo, span):
+        rng = DeterministicRng(seed)
+        for _ in range(10):
+            assert lo <= rng.randint(lo, lo + span) <= lo + span
+
+
+def _mem_record(seq, addr, pc=0x100):
+    word = encode_instr("ld", rd=5, rs1=8)
+    return InstrRecord(seq=seq, pc=pc, word=word, opcode=op.OP_LOAD,
+                       funct3=3, iclass=InstrClass.LOAD, dst=5,
+                       srcs=(8,), mem_addr=addr, mem_size=8, result=addr)
+
+
+class TestPacketProperties:
+    @given(pc=st.integers(min_value=0, max_value=(1 << 48)),
+           addr=st.integers(min_value=0, max_value=(1 << 48)))
+    def test_fields_recoverable(self, pc, addr):
+        pkt = Packet(seq=0, gid=1, record=_mem_record(0, addr, pc),
+                     commit_ns=0.0)
+        assert pkt.word(OFF_PC) == pc
+        assert pkt.word(OFF_ADDR) == addr
+        assert pkt.word(OFF_DATA) == addr
+
+
+class TestEventFilterProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(lanes=st.lists(st.integers(min_value=0, max_value=3),
+                          min_size=1, max_size=60),
+           monitored=st.lists(st.booleans(), min_size=60, max_size=60))
+    def test_arbiter_emits_in_commit_order(self, lanes, monitored):
+        fwd = DataForwardingChannel(None)
+        f = EventFilter(width=4, fifo_depth=64, forwarding=fwd,
+                        high_period_ns=0.3125)
+        f.program(op.OP_LOAD, 3, FilterEntry(gid=1, dp_sel=0x2))
+        alu = encode_instr("add", rd=5, rs1=6, rs2=7)
+        expected = []
+        for i, lane in enumerate(lanes):
+            if monitored[i]:
+                rec = _mem_record(i, 0x1000 + i * 8)
+                expected.append(i)
+            else:
+                rec = InstrRecord(seq=i, pc=0x100, word=alu, opcode=0x33,
+                                  funct3=0, iclass=InstrClass.INT_ALU,
+                                  dst=5, srcs=(6, 7))
+            assert f.offer(rec, lane=lane, cycle=i)
+        emitted = []
+        for cycle in range(len(lanes) + 4):
+            pkt = f.arbitrate(cycle)
+            if pkt is not None:
+                emitted.append(pkt.seq)
+        assert emitted == expected
+
+
+class TestQueueProperties:
+    @given(values=st.lists(u64, min_size=1, max_size=30))
+    def test_word_queue_fifo(self, values):
+        q = WordQueue(len(values))
+        for v in values:
+            assert q.push(v)
+        assert [q.pop() for _ in values] == values
+
+    @given(count=st.integers(min_value=1, max_value=20))
+    def test_message_queue_pop_order(self, count):
+        q = MessageQueue(count)
+        for i in range(count):
+            q.push(Packet(seq=i, gid=1, record=_mem_record(i, i * 8),
+                          commit_ns=0.0))
+        popped = [q.pop(OFF_ADDR) for _ in range(count)]
+        assert popped == [i * 8 for i in range(count)]
+
+
+class TestNocProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(pairs=st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        min_size=1, max_size=20))
+    def test_all_words_delivered(self, pairs):
+        noc = MeshNoc(NocParams(rows=3, cols=3),
+                      [WordQueue(64) for _ in range(9)])
+        for i, (src, dst) in enumerate(pairs):
+            noc.send(src, dst, i, low_cycle=0)
+        for cycle in range(200):
+            noc.step(cycle)
+        assert noc.idle
+        delivered = sum(len(q) for q in noc.peer_queues)
+        assert delivered == len(pairs)
+
+    @given(src=st.integers(0, 8), dst=st.integers(0, 8))
+    def test_xy_path_valid(self, src, dst):
+        noc = MeshNoc(NocParams(rows=3, cols=3),
+                      [WordQueue(4) for _ in range(9)])
+        path = noc.xy_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        for a, b in zip(path, path[1:]):
+            ra, ca = divmod(a, 3)
+            rb, cb = divmod(b, 3)
+            assert abs(ra - rb) + abs(ca - cb) == 1  # mesh neighbours

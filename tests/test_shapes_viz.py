@@ -1,0 +1,109 @@
+"""Tests for shape validation and ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.metrics import SlowdownTable
+from repro.analysis.shapes import (
+    ShapeCheck,
+    check_combination_not_multiplicative,
+    check_fireguard_beats_software,
+    check_ha_removes_overhead,
+    check_latency_ordering,
+    check_scaling_monotone,
+    check_strategy_ordering,
+    summarize,
+)
+from repro.analysis.viz import bar_chart, series_chart
+from repro.errors import ReproError
+
+
+def table_with(schemes):
+    t = SlowdownTable(["a", "b"])
+    for scheme, (va, vb) in schemes.items():
+        t.record("a", scheme, va)
+        t.record("b", scheme, vb)
+    return t
+
+
+class TestShapeChecks:
+    def test_ha_check_passes_near_one(self):
+        t = table_with({"ha": (1.001, 1.01)})
+        assert check_ha_removes_overhead(t, "ha").holds
+
+    def test_ha_check_fails_with_overhead(self):
+        t = table_with({"ha": (1.001, 1.2)})
+        assert not check_ha_removes_overhead(t, "ha").holds
+
+    def test_beats_software_allows_one_exception(self):
+        t = table_with({"fg": (1.1, 2.5), "sw": (2.0, 2.0)})
+        check = check_fireguard_beats_software(t, "fg", "sw")
+        assert check.holds and "b" in check.detail
+
+    def test_beats_software_fails_with_two_losses(self):
+        t = table_with({"fg": (2.5, 2.5), "sw": (2.0, 2.0)})
+        assert not check_fireguard_beats_software(t, "fg", "sw").holds
+
+    def test_scaling_monotone(self):
+        t = table_with({"2uc": (2.0, 3.0), "4uc": (1.5, 2.0),
+                        "6uc": (1.1, 1.3)})
+        assert check_scaling_monotone(t).holds
+
+    def test_scaling_violation_detected(self):
+        t = table_with({"2uc": (1.1, 1.1), "4uc": (1.8, 1.9)})
+        assert not check_scaling_monotone(t).holds
+
+    def test_combination_check(self):
+        assert check_combination_not_multiplicative(
+            1.42, [1.4, 1.05]).holds
+        assert not check_combination_not_multiplicative(
+            2.5, [1.4, 1.05]).holds
+
+    def test_combination_needs_parts(self):
+        with pytest.raises(ReproError):
+            check_combination_not_multiplicative(1.0, [])
+
+    def test_strategy_ordering(self):
+        assert check_strategy_ordering(1.08, 1.03, 1.01, 1.01).holds
+        assert not check_strategy_ordering(1.00, 1.05, 1.08, 1.09).holds
+
+    def test_latency_ordering(self):
+        assert check_latency_ordering(20, 150, 900).holds
+        assert not check_latency_ordering(300, 150, 200).holds
+
+    def test_summarize(self):
+        checks = [ShapeCheck("x", True), ShapeCheck("y", False)]
+        assert summarize(checks) == (1, 2)
+
+    def test_as_row(self):
+        row = ShapeCheck("claim", True, "d").as_row()
+        assert row == ["claim", "yes", "d"]
+
+
+class TestViz:
+    def test_bar_chart_renders_all_keys(self):
+        out = bar_chart({"pmc": 1.02, "asan": 1.5}, title="t")
+        assert "pmc" in out and "asan" in out and out.startswith("t")
+
+    def test_bar_lengths_ordered(self):
+        out = bar_chart({"small": 1.1, "big": 2.0})
+        small_line = next(l for l in out.splitlines() if "small" in l)
+        big_line = next(l for l in out.splitlines() if "big" in l)
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_bar_chart_empty_raises(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+    def test_series_chart_contains_glyphs_and_legend(self):
+        out = series_chart([2, 4, 6], {"pmc": [1.2, 1.05, 1.01],
+                                       "asan": [1.9, 1.4, 1.2]})
+        assert "*=pmc" in out and "+=asan" in out
+        assert "*" in out and "+" in out
+
+    def test_series_chart_empty_raises(self):
+        with pytest.raises(ReproError):
+            series_chart([1], {})
+
+    def test_series_chart_flat_series(self):
+        out = series_chart([1, 2], {"flat": [1.0, 1.0]})
+        assert "flat" in out

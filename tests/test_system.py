@@ -1,0 +1,166 @@
+"""Integration tests: the full FireGuard system end to end."""
+
+import pytest
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import FireGuardSystem, run_baseline
+from repro.errors import ConfigError
+from repro.kernels import make_kernel
+from repro.kernels.base import KernelStrategy
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+
+def trace_for(bench="swaptions", seed=17, length=5000):
+    return generate_trace(PARSEC_PROFILES[bench], seed=seed, length=length)
+
+
+class TestConstruction:
+    def test_needs_kernels(self):
+        with pytest.raises(ConfigError):
+            FireGuardSystem([])
+
+    def test_duplicate_kernels_rejected(self):
+        with pytest.raises(ConfigError):
+            FireGuardSystem([make_kernel("pmc"), make_kernel("pmc")])
+
+    def test_engine_partitioning(self):
+        system = FireGuardSystem(
+            [make_kernel("pmc"), make_kernel("asan")],
+            engines_per_kernel={"pmc": 2, "asan": 4})
+        assert system.config.num_engines == 6
+        assert len(system.engines) == 6
+
+    def test_accelerated_kernel_gets_one_slot(self):
+        system = FireGuardSystem(
+            [make_kernel("pmc"), make_kernel("asan")],
+            engines_per_kernel={"asan": 4},
+            accelerated={"pmc"})
+        assert system.config.num_engines == 5
+
+    def test_accelerating_asan_rejected(self):
+        with pytest.raises(ConfigError):
+            FireGuardSystem([make_kernel("asan")], accelerated={"asan"})
+
+    def test_filter_programmed_for_groups(self):
+        system = FireGuardSystem([make_kernel("asan")])
+        mf = system.filter.minifilters[0]
+        assert mf.lookup(0x03, 3) is not None   # ld
+        assert mf.lookup(0x23, 3) is not None   # sd
+        assert mf.lookup(0x0B, 0) is not None   # alloc marker
+        assert mf.lookup(0x6F, 0) is None       # jal not monitored
+
+    def test_shared_groups_fan_out(self):
+        system = FireGuardSystem([make_kernel("asan"), make_kernel("uaf")])
+        ses = system.distributor.interested_ses(1)  # GROUP_MEM
+        assert len(ses) == 2
+
+
+class TestRunBehaviour:
+    def test_monitored_run_completes_and_commits_all(self):
+        trace = trace_for()
+        system = FireGuardSystem([make_kernel("pmc")])
+        result = system.run(trace)
+        assert result.committed == len(trace.records)
+        assert result.cycles > 0
+
+    def test_slowdown_at_least_one(self):
+        trace = trace_for()
+        base = run_baseline(trace)
+        result = FireGuardSystem([make_kernel("pmc")]).run(trace)
+        assert result.cycles >= base * 0.99
+
+    def test_deterministic(self):
+        trace = trace_for()
+        r1 = FireGuardSystem([make_kernel("asan")]).run(trace)
+        r2 = FireGuardSystem([make_kernel("asan")]).run(trace)
+        assert r1.cycles == r2.cycles
+        assert r1.packets_filtered == r2.packets_filtered
+
+    def test_all_valid_packets_delivered(self):
+        trace = trace_for()
+        system = FireGuardSystem([make_kernel("pmc")])
+        result = system.run(trace)
+        assert result.packets_delivered == result.packets_filtered
+
+    def test_more_engines_never_slower(self):
+        trace = trace_for("x264", length=6000)
+        slow = FireGuardSystem(
+            [make_kernel("asan")],
+            engines_per_kernel={"asan": 2}).run(trace)
+        fast = FireGuardSystem(
+            [make_kernel("asan")],
+            engines_per_kernel={"asan": 8}).run(trace)
+        assert fast.cycles <= slow.cycles
+
+    def test_narrow_filter_never_faster(self):
+        trace = trace_for("x264", length=6000)
+        wide = FireGuardSystem(
+            [make_kernel("asan")],
+            config=FireGuardConfig(filter_width=4)).run(trace)
+        narrow = FireGuardSystem(
+            [make_kernel("asan")],
+            config=FireGuardConfig(filter_width=1)).run(trace)
+        assert narrow.cycles >= wide.cycles
+        # The narrow filter throttles commit to one lane, so the filter
+        # FIFOs report full far more often.
+        assert narrow.filter_full_cycles + narrow.stall_backpressure > 0
+
+    def test_ha_has_negligible_overhead(self):
+        trace = trace_for("x264", length=6000)
+        base = run_baseline(trace)
+        result = FireGuardSystem([make_kernel("pmc")],
+                                 accelerated={"pmc"}).run(trace)
+        assert result.cycles / base < 1.02
+
+    def test_combined_kernels_dominated_by_heaviest(self):
+        trace = trace_for("dedup", length=6000)
+        base = run_baseline(trace)
+        asan = FireGuardSystem([make_kernel("asan")]).run(trace)
+        combo = FireGuardSystem(
+            [make_kernel("asan"), make_kernel("pmc")]).run(trace)
+        asan_slow = asan.cycles / base
+        combo_slow = combo.cycles / base
+        pmc_slow = FireGuardSystem(
+            [make_kernel("pmc")]).run(trace).cycles / base
+        # Not multiplied: combination costs at most ~the product, and
+        # is dominated by the heavier kernel.
+        assert combo_slow >= max(asan_slow, pmc_slow) * 0.97
+        assert combo_slow < asan_slow * pmc_slow * 1.10
+
+    def test_post_commit_isax_slower_for_heavy_kernel(self):
+        trace = trace_for("x264", length=6000)
+        ma = FireGuardSystem([make_kernel("asan")],
+                             isax_style=IsaxStyle.MA_STAGE).run(trace)
+        pc = FireGuardSystem([make_kernel("asan")],
+                             isax_style=IsaxStyle.POST_COMMIT).run(trace)
+        assert pc.cycles > ma.cycles
+
+    def test_conventional_strategy_slower_under_load(self):
+        trace = trace_for("x264", length=6000)
+        conv = FireGuardSystem(
+            [make_kernel("pmc", strategy=KernelStrategy.CONVENTIONAL)],
+        ).run(trace)
+        hybrid = FireGuardSystem(
+            [make_kernel("pmc", strategy=KernelStrategy.HYBRID)],
+        ).run(trace)
+        assert conv.cycles >= hybrid.cycles
+
+    def test_prf_preemptions_recorded(self):
+        trace = trace_for()
+        result = FireGuardSystem([make_kernel("pmc")]).run(trace)
+        assert result.prf_preemptions > 0
+
+    def test_shadow_stack_uses_noc(self):
+        trace = trace_for("bodytrack", length=6000)
+        result = FireGuardSystem([make_kernel("shadow_stack")]).run(trace)
+        assert result.noc_words > 0
+
+    def test_queue_stats_populated_under_pressure(self):
+        trace = trace_for("x264", length=6000)
+        result = FireGuardSystem(
+            [make_kernel("asan")],
+            engines_per_kernel={"asan": 2}).run(trace)
+        assert result.msgq_full_cycles > 0
+        assert result.stall_backpressure > 0

@@ -1,0 +1,75 @@
+"""Tests for trace serialisation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.attacks import AttackKind, inject_attacks
+from repro.trace.generator import generate_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(PARSEC_PROFILES["dedup"], seed=31, length=3000)
+
+
+class TestRoundTrip:
+    def test_records_identical(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.records) == len(trace.records)
+        for a, b in zip(trace.records, loaded.records):
+            assert a.seq == b.seq and a.pc == b.pc and a.word == b.word
+            assert a.iclass is b.iclass
+            assert a.dst == b.dst and a.srcs == b.srcs
+            assert a.mem_addr == b.mem_addr and a.mem_size == b.mem_size
+            assert a.taken == b.taken and a.target == b.target
+            assert a.result == b.result
+
+    def test_metadata_preserved(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name and loaded.seed == trace.seed
+        assert loaded.heap_base == trace.heap_base
+        assert loaded.warm_end == trace.warm_end
+        assert len(loaded.objects) == len(trace.objects)
+        for a, b in zip(trace.objects, loaded.objects):
+            assert (a.base, a.size, a.alloc_seq, a.free_seq) \
+                == (b.base, b.size, b.alloc_seq, b.free_seq)
+
+    def test_attack_ids_preserved(self, trace, tmp_path):
+        inject_attacks(trace, AttackKind.OOB_ACCESS, 5)
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        orig = {r.seq: r.attack_id for r in trace.records
+                if r.attack_id is not None}
+        got = {r.seq: r.attack_id for r in loaded.records
+               if r.attack_id is not None}
+        assert orig == got
+
+    def test_simulation_identical(self, trace, tmp_path):
+        from repro.ooo.core import MainCore
+
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert MainCore().run_standalone(trace).cycles \
+            == MainCore().run_standalone(loaded).cycles
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.fgt"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_rejected(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - 10])
+        with pytest.raises(TraceError):
+            load_trace(path)

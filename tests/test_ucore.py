@@ -1,0 +1,355 @@
+"""Unit tests for the µcore: assembler, functional execution, timing."""
+
+import pytest
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxInterface, IsaxStyle
+from repro.core.msgqueue import QueueController
+from repro.core.packet import OFF_ADDR, OFF_META, Packet
+from repro.errors import AssemblyError
+from repro.isa.decode import encode_instr
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import InstrRecord
+from repro.ucore.assembler import assemble
+from repro.ucore.core import MicroCore, UcoreMemory
+from repro.ucore.isa import Op
+
+
+def load_packet(seq=0, addr=0x2000):
+    word = encode_instr("ld", rd=5, rs1=8)
+    rec = InstrRecord(seq=seq, pc=0x100, word=word, opcode=0x03, funct3=3,
+                      iclass=InstrClass.LOAD, dst=5, srcs=(8,),
+                      mem_addr=addr, mem_size=8)
+    return Packet(seq=seq, gid=1, record=rec, commit_ns=0.0)
+
+
+def make_core(source, style=IsaxStyle.MA_STAGE, engine_id=0,
+              alerts=None):
+    config = FireGuardConfig()
+    ctrl = QueueController(engine_id, input_depth=8, peer_depth=8)
+    memory = UcoreMemory(config)
+    callbacks = alerts if alerts is not None else []
+    core = MicroCore(engine_id=engine_id, program=assemble(source),
+                     controller=ctrl, memory=memory, config=config,
+                     isax=IsaxInterface(style),
+                     on_alert=lambda e, c, t: callbacks.append((e, c, t)))
+    return core, ctrl
+
+
+def run_cycles(core, n):
+    for cycle in range(n):
+        core.tick(cycle)
+
+
+def run_until_halt(core, max_cycles=5000):
+    cycle = 0
+    while not core.halted and cycle < max_cycles:
+        core.tick(cycle)
+        cycle += 1
+    assert core.halted, "ucore did not halt"
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        prog = assemble("""
+        start:
+            li   t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """)
+        assert len(prog) == 4
+        assert prog[2].op == Op.BNE
+        assert prog[2].imm == 1  # index of 'loop'
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        # a comment
+            nop   # trailing comment
+
+            halt
+        """)
+        assert [i.op for i in prog] == [Op.NOP, Op.HALT]
+
+    def test_memory_operands(self):
+        prog = assemble("ld a0, 16(s0)\nsd a1, -8(sp)")
+        assert prog[0].op == Op.LD and prog[0].imm == 16 and prog[0].rs1 == 8
+        assert prog[1].op == Op.SD and prog[1].imm == -8 and prog[1].rs1 == 2
+
+    def test_hex_immediates(self):
+        prog = assemble("li t0, 0xFF")
+        assert prog[0].imm == 0xFF
+
+    def test_pseudo_instructions(self):
+        prog = assemble("beqz t0, l\nbnez t1, l\nj l\nmv a0, a1\nl: ret")
+        assert prog[0].op == Op.BEQ and prog[0].rs2 == 0
+        assert prog[1].op == Op.BNE
+        assert prog[2].op == Op.JAL and prog[2].rd == 0
+        assert prog[3].op == Op.ADDI and prog[3].imm == 0
+        assert prog[4].op == Op.JALR and prog[4].rs1 == 1
+
+    def test_queue_ops(self):
+        prog = assemble("qcount t0, 0\nqpop a0, 128\nqpush a0\nppop a1")
+        assert prog[0].op == Op.QCOUNT
+        assert prog[1].op == Op.QPOP and prog[1].imm == 128
+        assert prog[2].op == Op.QPUSH
+        assert prog[3].op == Op.PPOP
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("a: nop\na: nop")
+
+    def test_bad_mnemonic_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate t0")
+
+    def test_bad_register_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("add q0, t0, t1")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("add t0, t1")
+
+    def test_label_on_own_line(self):
+        prog = assemble("top:\n    j top")
+        assert prog[0].imm == 0
+
+
+class TestFunctionalExecution:
+    def test_arithmetic(self):
+        core, _ = make_core("""
+            li   t0, 6
+            li   t1, 7
+            mul  t2, t0, t1
+            add  t3, t2, t0
+            halt
+        """)
+        run_cycles(core, 30)
+        assert core.halted
+        assert core.regs[7] == 42   # t2
+        assert core.regs[28] == 48  # t3
+
+    def test_x0_stays_zero(self):
+        core, _ = make_core("li zero, 5\nhalt")
+        run_cycles(core, 10)
+        assert core.regs[0] == 0
+
+    def test_memory_roundtrip(self):
+        core, _ = make_core("""
+            li  t0, 0x1000
+            li  t1, 0xBEEF
+            sd  t1, 0(t0)
+            ld  t2, 0(t0)
+            halt
+        """)
+        run_until_halt(core)
+        assert core.regs[7] == 0xBEEF
+
+    def test_byte_store_load(self):
+        core, _ = make_core("""
+            li  t0, 0x2000
+            li  t1, 0x1FF
+            sb  t1, 0(t0)
+            lbu t2, 0(t0)
+            halt
+        """)
+        run_until_halt(core)
+        assert core.regs[7] == 0xFF
+
+    def test_branch_loop(self):
+        core, _ = make_core("""
+            li   t0, 5
+            li   t1, 0
+        loop:
+            addi t1, t1, 2
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """)
+        run_cycles(core, 80)
+        assert core.halted
+        assert core.regs[6] == 10
+
+    def test_signed_compare(self):
+        core, _ = make_core("""
+            li   t0, -1
+            li   t1, 1
+            slt  t2, t0, t1
+            sltu t3, t0, t1
+            halt
+        """)
+        run_cycles(core, 20)
+        assert core.regs[7] == 1   # signed: -1 < 1
+        assert core.regs[28] == 0  # unsigned: 2^64-1 > 1
+
+    def test_shifts(self):
+        core, _ = make_core("""
+            li   t0, 4
+            slli t1, t0, 4
+            srli t2, t1, 2
+            halt
+        """)
+        run_cycles(core, 20)
+        assert core.regs[6] == 64 and core.regs[7] == 16
+
+    def test_qpop_reads_packet_fields(self):
+        core, ctrl = make_core("""
+            qpop  a0, 0
+            qrecent a1, 128
+            halt
+        """)
+        ctrl.input_queue.push(load_packet(addr=0x77C0))
+        run_cycles(core, 20)
+        assert core.regs[11] == 0x77C0
+
+    def test_qpop_blocks_until_data(self):
+        core, ctrl = make_core("qpop a0, 128\nhalt")
+        run_cycles(core, 5)
+        assert not core.halted
+        assert core.blocked
+        ctrl.input_queue.push(load_packet(addr=0x88))
+        run_cycles(core, 20)
+        assert core.halted
+        assert core.regs[10] == 0x88
+
+    def test_qpush_routes_to_dest(self):
+        core, ctrl = make_core("""
+            li    t0, 3
+            qdest t0
+            li    a0, 0xAB
+            qpush a0
+            halt
+        """)
+        run_cycles(core, 20)
+        assert ctrl.take_outgoing() == (3, 0xAB)
+
+    def test_ppop_blocks_then_reads(self):
+        core, ctrl = make_core("ppop a0\nhalt")
+        run_cycles(core, 3)
+        assert core.blocked
+        ctrl.peer_queue.push(0x1234)
+        run_cycles(core, 10)
+        assert core.regs[10] == 0x1234
+
+    def test_alert_callback(self):
+        alerts = []
+        core, _ = make_core("alerti 9\nhalt", alerts=alerts)
+        run_cycles(core, 10)
+        assert alerts and alerts[0][1] == 9
+
+    def test_csrr_engine_id(self):
+        alerts = []
+        core, _ = make_core("csrr t0, id\nhalt", engine_id=0,
+                            alerts=alerts)
+        run_cycles(core, 10)
+        assert core.regs[5] == 0
+
+    def test_preset_registers(self):
+        core, _ = make_core("halt")
+        core.preset_registers({8: 0x4000})
+        assert core.regs[8] == 0x4000
+
+    def test_pc_past_end_halts(self):
+        core, _ = make_core("nop")
+        run_cycles(core, 5)
+        assert core.halted
+
+
+class TestTiming:
+    def test_load_use_bubble(self):
+        fast, _ = make_core("""
+            li  t0, 0x100
+            ld  t1, 0(t0)
+            nop
+            add t2, t1, t1
+            halt
+        """)
+        slow, _ = make_core("""
+            li  t0, 0x100
+            ld  t1, 0(t0)
+            add t2, t1, t1
+            nop
+            halt
+        """)
+        run_cycles(fast, 300)
+        run_cycles(slow, 300)
+        assert fast.halted and slow.halted
+        assert slow.stat_stall_cycles >= fast.stat_stall_cycles
+
+    def test_post_commit_isax_slower(self):
+        src = """
+        loop:
+            qcount t0, 0
+            beqz   t0, done
+            qpop   a0, 0
+            j      loop
+        done:
+            halt
+        """
+        results = {}
+        for style in (IsaxStyle.MA_STAGE, IsaxStyle.POST_COMMIT):
+            core, ctrl = make_core(src, style=style)
+            for i in range(6):
+                ctrl.input_queue.push(load_packet(i))
+            cycle = 0
+            while not core.halted and cycle < 2000:
+                core.tick(cycle)
+                cycle += 1
+            assert core.halted
+            results[style] = core.stat_instructions + core.stat_stall_cycles
+        assert results[IsaxStyle.POST_COMMIT] \
+            > results[IsaxStyle.MA_STAGE]
+
+    def test_div_slower_than_add(self):
+        div_core, _ = make_core("li t0, 8\nli t1, 2\ndiv t2, t0, t1\nhalt")
+        add_core, _ = make_core("li t0, 8\nli t1, 2\nadd t2, t0, t1\nhalt")
+        for c in (div_core, add_core):
+            cycle = 0
+            while not c.halted and cycle < 100:
+                c.tick(cycle)
+                cycle += 1
+        assert div_core.regs[7] == 4
+        assert div_core.stat_stall_cycles > add_core.stat_stall_cycles
+
+    def test_idle_detection_blocked(self):
+        core, _ = make_core("qpop a0, 0\nhalt")
+        run_cycles(core, 5)
+        assert core.idle_at(5)
+
+    def test_not_idle_with_queued_work(self):
+        core, ctrl = make_core("qpop a0, 0\nj_done: halt")
+        ctrl.input_queue.push(load_packet())
+        assert not core.idle_at(0)
+
+    def test_spin_loop_idles_eventually(self):
+        core, _ = make_core("""
+        loop:
+            qcount t0, 0
+            beqz   t0, loop
+            qpop   a0, 0
+            j      loop
+        """)
+        run_cycles(core, 200)
+        assert core.idle_at(200)
+
+    def test_cache_miss_costs_more(self):
+        # Two loads to the same line: second is an L1 hit.
+        core, _ = make_core("""
+            li  t0, 0x9000
+            ld  t1, 0(t0)
+            ld  t2, 8(t0)
+            halt
+        """)
+        cycle = 0
+        while not core.halted and cycle < 1000:
+            core.tick(cycle)
+            cycle += 1
+        assert core.halted
+        assert core.l1d.stat_misses == 1
+        assert core.l1d.stat_hits == 1

@@ -1,0 +1,119 @@
+"""Unit tests for repro.utils.bitfield."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.bitfield import Bitmap, bits, mask, sign_extend
+
+
+class TestMask:
+    def test_zero(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(3) == 0b111
+
+    def test_64(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigError):
+            mask(-1)
+
+
+class TestBits:
+    def test_low_slice(self):
+        assert bits(0b1101, 2, 0) == 0b101
+
+    def test_high_slice(self):
+        assert bits(0xDEADBEEF, 31, 24) == 0xDE
+
+    def test_single_bit(self):
+        assert bits(0b100, 2, 2) == 1
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ConfigError):
+            bits(0, 0, 1)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_boundary(self):
+        assert sign_extend(0x80, 8) == -128
+
+    def test_already_masked(self):
+        assert sign_extend(0x1FF, 8) == -1
+
+    def test_twelve_bit_imm(self):
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0x7FF, 12) == 2047
+
+
+class TestBitmap:
+    def test_starts_clear(self):
+        bm = Bitmap(8)
+        assert not bm
+        assert bm.popcount() == 0
+
+    def test_set_and_test(self):
+        bm = Bitmap(8)
+        bm.set(3)
+        assert bm.test(3)
+        assert not bm.test(2)
+
+    def test_clear(self):
+        bm = Bitmap(8, value=0xFF)
+        bm.clear(0)
+        assert not bm.test(0)
+        assert bm.popcount() == 7
+
+    def test_clear_all(self):
+        bm = Bitmap(16, value=0xABCD)
+        bm.clear_all()
+        assert bm.value == 0
+
+    def test_out_of_range_raises(self):
+        bm = Bitmap(4)
+        with pytest.raises(ConfigError):
+            bm.set(4)
+        with pytest.raises(ConfigError):
+            bm.test(-1)
+
+    def test_initial_value_must_fit(self):
+        with pytest.raises(ConfigError):
+            Bitmap(4, value=0x10)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            Bitmap(0)
+
+    def test_or_with(self):
+        a = Bitmap(8, value=0b0011)
+        b = Bitmap(8, value=0b0110)
+        a.or_with(b)
+        assert a.value == 0b0111
+        assert b.value == 0b0110  # unchanged
+
+    def test_or_width_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            Bitmap(8).or_with(Bitmap(16))
+
+    def test_set_bits_iteration(self):
+        bm = Bitmap(16, value=0b1010_0001)
+        assert list(bm.set_bits()) == [0, 5, 7]
+
+    def test_equality_and_hash(self):
+        assert Bitmap(8, 5) == Bitmap(8, 5)
+        assert Bitmap(8, 5) != Bitmap(16, 5)
+        assert hash(Bitmap(8, 5)) == hash(Bitmap(8, 5))
+
+    def test_idempotent_set(self):
+        bm = Bitmap(8)
+        bm.set(2)
+        bm.set(2)
+        assert bm.popcount() == 1

@@ -1,0 +1,116 @@
+"""Unit tests for repro.utils.rng (determinism is load-bearing)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.next_u64() for _ in range(50)] \
+            == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(8)] \
+            != [b.next_u64() for _ in range(8)]
+
+    def test_fork_independent(self):
+        parent = DeterministicRng(7)
+        child = parent.fork(1)
+        before = parent.next_u64()
+        # Re-derive: fork must not depend on parent's later draws.
+        parent2 = DeterministicRng(7)
+        child2 = parent2.fork(1)
+        assert child.next_u64() == child2.next_u64()
+        assert before == parent2.next_u64()
+
+    def test_fork_salts_differ(self):
+        parent = DeterministicRng(7)
+        assert parent.fork(1).next_u64() != parent.fork(2).next_u64()
+
+
+class TestDistributions:
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(3)
+        for _ in range(1000):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(4)
+        values = {rng.randint(2, 5) for _ in range(200)}
+        assert values == {2, 3, 4, 5}
+
+    def test_randint_single_point(self):
+        rng = DeterministicRng(5)
+        assert rng.randint(9, 9) == 9
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).randint(5, 4)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(6)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_chance_rate(self):
+        rng = DeterministicRng(7)
+        hits = sum(rng.chance(0.25) for _ in range(10000))
+        assert 2200 <= hits <= 2800
+
+    def test_choice(self):
+        rng = DeterministicRng(8)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(100)} == set(items)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).choice([])
+
+    def test_weighted_choice_respects_weights(self):
+        rng = DeterministicRng(9)
+        picks = [rng.weighted_choice(("x", "y"), (0.9, 0.1))
+                 for _ in range(2000)]
+        assert picks.count("x") > picks.count("y") * 4
+
+    def test_weighted_choice_zero_total_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).weighted_choice(("a",), (0.0,))
+
+    def test_weighted_choice_mismatched_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).weighted_choice(("a", "b"), (1.0,))
+
+    def test_geometric_mean_close_to_inverse_p(self):
+        rng = DeterministicRng(10)
+        draws = [rng.geometric(0.25, cap=100) for _ in range(5000)]
+        mean = sum(draws) / len(draws)
+        assert 3.2 <= mean <= 4.8  # expected 4
+
+    def test_geometric_respects_cap(self):
+        rng = DeterministicRng(11)
+        assert all(rng.geometric(0.01, cap=5) <= 5 for _ in range(200))
+
+    def test_geometric_bad_p_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).geometric(0.0, cap=10)
+
+    def test_zipf_index_in_range(self):
+        rng = DeterministicRng(12)
+        assert all(0 <= rng.zipf_index(64) < 64 for _ in range(500))
+
+    def test_zipf_index_skews_low(self):
+        rng = DeterministicRng(13)
+        draws = [rng.zipf_index(100, skew=2.0) for _ in range(5000)]
+        low = sum(1 for d in draws if d < 25)
+        assert low > len(draws) * 0.4
+
+    def test_zipf_bad_n_raises(self):
+        with pytest.raises(ConfigError):
+            DeterministicRng(1).zipf_index(0)

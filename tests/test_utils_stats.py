@@ -1,0 +1,112 @@
+"""Unit tests for repro.utils.stats."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.utils.stats import (
+    LatencySummary,
+    geomean,
+    mean,
+    percentile,
+    summarize_latencies,
+)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_known_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_order_invariant(self):
+        assert geomean([2, 8, 4]) == pytest.approx(geomean([8, 4, 2]))
+
+    def test_all_ones(self):
+        assert geomean([1.0] * 10) == pytest.approx(1.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [1.1, 2.9, 1.7]
+        assert geomean(values) < mean(values)
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            geomean([])
+
+    def test_zero_raises(self):
+        with pytest.raises(ReproError):
+            geomean([1.0, 0.0])
+
+    def test_negative_raises(self):
+        with pytest.raises(ReproError):
+            geomean([1.0, -2.0])
+
+    def test_large_values_no_overflow(self):
+        assert math.isfinite(geomean([1e200, 1e200]))
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == pytest.approx(2.0)
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_min_max(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == pytest.approx(1.0)
+        assert percentile(data, 100) == pytest.approx(9.0)
+
+    def test_single_element(self):
+        assert percentile([7.0], 90) == pytest.approx(7.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], 101)
+        with pytest.raises(ReproError):
+            percentile([1.0], -1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    def test_monotone_in_pct(self):
+        data = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0]
+        values = [percentile(data, p) for p in range(0, 101, 10)]
+        assert values == sorted(values)
+
+
+class TestSummarizeLatencies:
+    def test_fields_ordered(self):
+        s = summarize_latencies(list(range(1, 101)))
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.p90 \
+            <= s.p99 <= s.maximum
+
+    def test_count(self):
+        assert summarize_latencies([1.0, 2.0]).count == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            summarize_latencies([])
+
+    def test_as_row_keys(self):
+        row = summarize_latencies([1.0, 5.0, 9.0]).as_row()
+        assert set(row) == {"min", "p25", "median", "p75", "p90",
+                            "p99", "max"}
+
+    def test_is_frozen(self):
+        s = summarize_latencies([1.0])
+        with pytest.raises(AttributeError):
+            s.median = 5.0
+        assert isinstance(s, LatencySummary)
