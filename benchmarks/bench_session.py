@@ -1,0 +1,70 @@
+"""Session/runner microbenchmarks: what build-once/run-many buys.
+
+These regression-track the two mechanisms every sweep leans on:
+session reuse (build one system, ``reset()`` between traces) versus
+rebuilding the system per run, and the runner's per-spec record cache.
+"""
+
+from conftest import bench_set
+
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.runner import SweepRunner, sweep
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+TRACE_LEN = 3000
+
+
+def _traces():
+    return [generate_trace(PARSEC_PROFILES[name], seed=5,
+                           length=TRACE_LEN)
+            for name in bench_set()]
+
+
+def test_session_reuse_many_traces(benchmark):
+    """One built system runs every benchmark trace via reset()."""
+    traces = _traces()
+    session = FireGuardSystem([make_kernel("asan")]).session()
+
+    def run():
+        cycles = 0
+        for trace in traces:
+            if session.dirty:
+                session.reset()
+            cycles += session.run(trace).cycles
+        return cycles
+
+    reused = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The reused session must match fresh builds bit for bit.
+    fresh = sum(FireGuardSystem([make_kernel("asan")]).run(t).cycles
+                for t in traces)
+    assert reused == fresh
+
+
+def test_rebuild_per_trace(benchmark):
+    """Baseline for the above: fresh build for every trace."""
+    traces = _traces()
+
+    def run():
+        cycles = 0
+        for trace in traces:
+            system = FireGuardSystem([make_kernel("asan")])
+            cycles += system.run(trace).cycles
+        return cycles
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0
+
+
+def test_runner_record_cache(benchmark):
+    """A repeated sweep is answered from the runner's spec cache."""
+    specs = sweep(bench_set(), kernels=("pmc",), length=TRACE_LEN)
+    runner = SweepRunner(workers=1)
+    first = runner.run(specs)
+
+    def rerun():
+        return runner.run(specs)
+
+    again = benchmark(rerun)
+    assert [r.result for r in again] == [r.result for r in first]

@@ -4,11 +4,13 @@
 Generates a synthetic PARSEC-like workload, runs it on the simulated
 4-wide OoO core with a FireGuard frontend and four Rocket-style µcores
 running the ASan guardian kernel, and reports the slowdown and
-pipeline statistics.
+pipeline statistics.  The backend sweep at the end submits declarative
+specs to the sweep runner (the API every experiment harness uses).
 """
 
 from repro.core.system import FireGuardSystem, run_baseline
 from repro.kernels import make_kernel
+from repro.runner import RunSpec, SweepRunner
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_PROFILES
 
@@ -36,12 +38,17 @@ def main() -> None:
     print(f"  ucore instructions    : {result.engine_instructions}")
     print(f"  wall time simulated   : {result.time_ns:.0f} ns")
 
-    # 4. Scale the backend up and watch the overhead melt (Fig 10).
-    system12 = FireGuardSystem([make_kernel("asan")],
-                               engines_per_kernel={"asan": 12})
-    result12 = system12.run(trace)
-    print(f"with 12 ucores: slowdown "
-          f"{result12.cycles / baseline:.2f}x")
+    # 4. Scale the backend up and watch the overhead melt (Fig 10):
+    #    declarative specs through the sweep runner.
+    runner = SweepRunner()
+    records = runner.run([
+        RunSpec(benchmark="x264", kernels=("asan",),
+                engines_per_kernel=count, seed=42, length=10000)
+        for count in (4, 12)
+    ])
+    for record in records:
+        print(f"with {record.spec.engines_per_kernel:2d} ucores: "
+              f"slowdown {record.slowdown:.2f}x")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,10 @@
 
 Results should be traceable to the exact workload that produced them:
 this example generates a trace, injects attacks, saves it to disk,
-reloads it, and shows the replayed simulation is bit-identical.
+reloads it, and shows the replayed simulation is bit-identical.  Both
+runs share ONE built system through its simulation session — build
+once, ``reset()``, run again — which is also a determinism check of
+the session layer itself.
 """
 
 import tempfile
@@ -29,17 +32,18 @@ def main() -> None:
               f"({path.stat().st_size / 1024:.0f} KiB) to {path.name}")
 
         replayed = load_trace(path)
-        original = FireGuardSystem([make_kernel("shadow_stack")])
-        result_a = original.run(trace)
-        replay = FireGuardSystem([make_kernel("shadow_stack")])
-        result_b = replay.run(replayed)
+        session = FireGuardSystem([make_kernel("shadow_stack")]).session()
+        result_a = session.run(trace)
+        session.reset()                 # back to the just-built state
+        result_b = session.run(replayed)
 
         print(f"original run : {result_a.cycles} cycles, "
               f"{len(result_a.detections)} detections")
         print(f"replayed run : {result_b.cycles} cycles, "
               f"{len(result_b.detections)} detections")
         assert result_a.cycles == result_b.cycles
-        print("replay is bit-identical")
+        print("replay is bit-identical (one system, session reset "
+              "between runs)")
 
 
 if __name__ == "__main__":

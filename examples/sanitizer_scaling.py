@@ -3,32 +3,29 @@
 
 Reproduces the Fig 10(c) experiment on a few workloads: the slowdown
 collapses as analysis engines are added, with the memory-heavy x264
-recovering slowest.
+recovering slowest.  The whole grid is one declarative ``sweep`` call;
+set ``REPRO_WORKERS=<n>`` (or pass ``workers=``) to fan the runs out
+over processes on a multi-core host.
 """
 
 from repro.analysis.report import format_table
-from repro.core.system import FireGuardSystem, run_baseline
-from repro.kernels import make_kernel
-from repro.trace.generator import generate_trace
-from repro.trace.profiles import PARSEC_PROFILES
+from repro.runner import SweepRunner, sweep
 
 WORKLOADS = ("swaptions", "dedup", "x264")
 COUNTS = (2, 4, 6, 8, 12)
 
 
 def main() -> None:
+    specs = sweep(WORKLOADS, kernels=("asan",),
+                  engines_per_kernel=list(COUNTS),
+                  seed=11, length=8000)
+    records = iter(SweepRunner().run(specs))
+
     rows = [["benchmark"] + [f"{n} ucores" for n in COUNTS]]
     for name in WORKLOADS:
-        trace = generate_trace(PARSEC_PROFILES[name], seed=11,
-                               length=8000)
-        base = run_baseline(trace)
         row = [name]
-        for count in COUNTS:
-            system = FireGuardSystem(
-                [make_kernel("asan")],
-                engines_per_kernel={"asan": count})
-            result = system.run(trace)
-            row.append(f"{result.cycles / base:.2f}x")
+        for _ in COUNTS:
+            row.append(f"{next(records).slowdown:.2f}x")
         rows.append(row)
     print(format_table(rows, title="ASan slowdown vs ucore count "
                                    "(Fig 10(c) shape)"))

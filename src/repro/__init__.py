@@ -20,15 +20,26 @@ Quick tour::
     result = system.run(trace)
     print(result.cycles / run_baseline(trace))
 
+Sweeps go through the declarative runner (one built system per
+configuration per worker, reset between traces)::
+
+    from repro.runner import SweepRunner, sweep
+
+    records = SweepRunner().run(sweep(
+        ("x264", "dedup"), kernels=("asan",),
+        engines_per_kernel=[2, 4, 8]))
+
 See DESIGN.md for the architecture map and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core.config import FireGuardConfig
 from repro.core.system import FireGuardSystem, SystemResult, run_baseline
 from repro.kernels import KERNELS, make_kernel
+from repro.runner import RunRecord, RunSpec, SweepRunner, sweep
+from repro.sim import SimulationSession
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_BENCHMARKS, PARSEC_PROFILES
 
@@ -38,9 +49,14 @@ __all__ = [
     "KERNELS",
     "PARSEC_BENCHMARKS",
     "PARSEC_PROFILES",
+    "RunRecord",
+    "RunSpec",
+    "SimulationSession",
+    "SweepRunner",
     "SystemResult",
     "__version__",
     "generate_trace",
     "make_kernel",
     "run_baseline",
+    "sweep",
 ]

@@ -33,6 +33,14 @@ class FrontEndPredictor:
         self.stat_branches = 0
         self.stat_mispredicts = 0
 
+    def reset(self) -> None:
+        """Untrained predictor: rebuild TAGE/BTB/RAS from parameters."""
+        self.tage = TagePredictor(self.params.tage)
+        self.btb = Btb(self.params.btb_entries)
+        self.ras = ReturnAddressStack(self.params.ras_entries)
+        self.stat_branches = 0
+        self.stat_mispredicts = 0
+
     def predict_and_train(self, iclass: InstrClass, pc: int, taken: bool,
                           target: int) -> bool:
         """Predict the instruction, train on the actual outcome, and

@@ -20,12 +20,13 @@ from repro.core.packet import (
     OFF_DATA,
     Packet,
 )
+from repro.utils.stats import Instrumented
 
 AlertCallback = Callable[[int, Packet, int], None]
 """(engine_id, packet, low_cycle) — invoked on each detection."""
 
 
-class HardwareAccelerator:
+class HardwareAccelerator(Instrumented):
     """Base: drains its message queue at the fabric's line rate.
 
     The fixed-function pipeline accepts several packets per fabric
@@ -68,6 +69,20 @@ class HardwareAccelerator:
         """Uniform drain-check interface with :class:`MicroCore`."""
         return self.queue.empty
 
+    def can_skip(self) -> bool:
+        """Uniform idle-skip interface with :class:`MicroCore`: an HA
+        with an empty queue has nothing to do this cycle."""
+        return self.queue.empty
+
+    def reset(self) -> None:
+        """Power-on state (session reset); subclasses reset their
+        checking state via :meth:`_reset_state`."""
+        self._reset_state()
+        self.reset_stats()
+
+    def _reset_state(self) -> None:
+        """Subclass hook: clear kernel-specific checking state."""
+
 
 class PmcAccelerator(HardwareAccelerator):
     """Custom performance counter with bounds check, in hardware.
@@ -84,6 +99,9 @@ class PmcAccelerator(HardwareAccelerator):
         super().__init__(engine_id, queue, on_alert)
         self.bound_lo = bound_lo
         self.bound_hi = bound_hi
+        self.event_count = 0
+
+    def _reset_state(self) -> None:
         self.event_count = 0
 
     def check(self, packet: Packet, low_cycle: int) -> bool:
@@ -104,6 +122,9 @@ class ShadowStackAccelerator(HardwareAccelerator):
         self._stack: list[int] = []
         self._max_depth = max_depth
         self.stat_overflows = 0
+
+    def _reset_state(self) -> None:
+        self._stack.clear()
 
     def check(self, packet: Packet, low_cycle: int) -> bool:
         meta = packet.meta

@@ -14,6 +14,7 @@ from repro.core.packet import Packet
 from repro.core.scheduling import SchedulingEngine
 from repro.errors import ConfigError
 from repro.utils.bitfield import Bitmap
+from repro.utils.stats import Instrumented
 
 
 class Distributor:
@@ -41,7 +42,7 @@ class Distributor:
         return self._bitmaps[gid]
 
 
-class Allocator:
+class Allocator(Instrumented):
     """2-level indirection: GID → SEs → analysis engines."""
 
     def __init__(self, distributor: Distributor,

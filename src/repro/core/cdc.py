@@ -11,9 +11,10 @@ from collections import deque
 
 from repro.core.packet import Packet
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
-class CdcFifo:
+class CdcFifo(Instrumented):
     """Dual-clock FIFO with occupancy-based back-pressure."""
 
     def __init__(self, depth: int, sync_delay_low_cycles: int = 1):
@@ -65,3 +66,8 @@ class CdcFifo:
         """Book-keeping hook: called once per low cycle for stats."""
         if self.full:
             self.stat_full_cycles += 1
+
+    def reset(self) -> None:
+        """Drop queued entries and counters (session reset)."""
+        self._entries.clear()
+        self.reset_stats()

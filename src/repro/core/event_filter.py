@@ -23,9 +23,10 @@ from repro.core.packet import Packet
 from repro.errors import ConfigError
 from repro.isa.filter_index import FILTER_TABLE_SIZE
 from repro.trace.record import InstrRecord
+from repro.utils.stats import Instrumented
 
 
-class EventFilter:
+class EventFilter(Instrumented):
     """Superscalar event filter, as wide as the core's commit."""
 
     def __init__(self, width: int, fifo_depth: int,
@@ -62,6 +63,17 @@ class EventFilter:
 
     def clear_programming(self) -> None:
         self.minifilters[0].clear()
+
+    # -- session reset -----------------------------------------------------
+    def reset(self) -> None:
+        """Drop all queued packets and counters; keep the SRAM
+        programming (it is build-time state)."""
+        for fifo in self._fifos:
+            fifo.clear()
+        self._seq = 0
+        self._arbiter_next = 0
+        self._lane_rr = 0
+        self.reset_stats()
 
     # -- commit side (high domain) ---------------------------------------
     def offer(self, record: InstrRecord, lane: int, cycle: int) -> bool:

@@ -12,9 +12,10 @@ from __future__ import annotations
 from repro.core.msgqueue import MessageQueue
 from repro.core.packet import Packet
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
-class MulticastChannel:
+class MulticastChannel(Instrumented):
     """Selective broadcast from the filter to the analysis engines.
 
     ``width`` channels may be in flight at once (the superscalar-mapper
@@ -38,6 +39,11 @@ class MulticastChannel:
         self.stat_delivered = 0
         self.stat_blocked_cycles = 0
         self.stat_port_conflicts = 0
+
+    def reset(self) -> None:
+        """Drop in-flight multicasts and counters (session reset)."""
+        self._pending.clear()
+        self.reset_stats()
 
     @property
     def busy(self) -> bool:

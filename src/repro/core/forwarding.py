@@ -17,9 +17,10 @@ from repro.core.packet import Packet
 from repro.isa.opcodes import PRF_RESULT_CLASSES, InstrClass
 from repro.ooo.prf import PhysicalRegisterFile
 from repro.trace.record import InstrRecord
+from repro.utils.stats import Instrumented
 
 
-class DataForwardingChannel:
+class DataForwardingChannel(Instrumented):
     """Builds packets from commit events and models the PRF bypass."""
 
     def __init__(self, prf: PhysicalRegisterFile | None):

@@ -14,9 +14,10 @@ from collections import deque
 
 from repro.core.packet import Packet
 from repro.errors import ConfigError, QueueError
+from repro.utils.stats import Instrumented
 
 
-class MessageQueue:
+class MessageQueue(Instrumented):
     """Bounded FIFO of packets (input queue) with `recent` tracking."""
 
     # Recently popped packets kept for alert attribution: unrolled
@@ -97,8 +98,15 @@ class MessageQueue:
         if self.full:
             self.stat_full_cycles += 1
 
+    def reset(self) -> None:
+        """Drop buffered packets, attribution state and counters."""
+        self._entries.clear()
+        self._recent = None
+        self._popped.clear()
+        self.reset_stats()
 
-class WordQueue:
+
+class WordQueue(Instrumented):
     """Bounded FIFO of raw 64-bit words (peer/output queues)."""
 
     def __init__(self, depth: int):
@@ -137,6 +145,11 @@ class WordQueue:
         if not self._entries:
             raise QueueError("head of empty word queue")
         return self._entries[0]
+
+    def reset(self) -> None:
+        """Drop buffered words and counters."""
+        self._entries.clear()
+        self.reset_stats()
 
 
 class QueueController:
@@ -182,3 +195,22 @@ class QueueController:
         if self.output_queue:
             return self.output_queue.popleft()
         return None
+
+    def reset(self) -> None:
+        """Drop all three queues' contents and status registers."""
+        self.input_queue.reset()
+        self.peer_queue.reset()
+        self.output_queue.clear()
+        self.dest_register = 0
+
+    def stats(self) -> dict[str, int]:
+        """Uniform stats view: input/peer counters, prefixed."""
+        merged = {f"input_{k}": v
+                  for k, v in self.input_queue.stats().items()}
+        merged.update({f"peer_{k}": v
+                       for k, v in self.peer_queue.stats().items()})
+        return merged
+
+    def reset_stats(self) -> None:
+        self.input_queue.reset_stats()
+        self.peer_queue.reset_stats()

@@ -16,6 +16,7 @@ from heapq import heappop, heappush
 
 from repro.core.msgqueue import WordQueue
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
 @dataclass(frozen=True)
@@ -31,7 +32,7 @@ class NocParams:
             raise ConfigError("hop latency must be positive")
 
 
-class MeshNoc:
+class MeshNoc(Instrumented):
     """XY-routed mesh connecting the analysis engines."""
 
     def __init__(self, params: NocParams, peer_queues: list[WordQueue]):
@@ -112,6 +113,13 @@ class MeshNoc:
     @property
     def idle(self) -> bool:
         return not self._in_flight
+
+    def reset(self) -> None:
+        """Drop in-flight words, link reservations and counters."""
+        self._link_free.clear()
+        self._in_flight.clear()
+        self._order = 0
+        self.reset_stats()
 
     def mean_hops(self) -> float:
         if not self.stat_sent:

@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.utils.bitfield import Bitmap
+from repro.utils.stats import Instrumented
 
 
 class SchedulingPolicy(Enum):
@@ -37,7 +38,7 @@ class SchedulingPolicy(Enum):
             raise ConfigError(f"unknown scheduling policy {name!r}") from None
 
 
-class SchedulingEngine:
+class SchedulingEngine(Instrumented):
     """One SE: selects the target analysis engine for each packet."""
 
     def __init__(self, se_index: int, engines: Sequence[int],
@@ -81,6 +82,15 @@ class SchedulingEngine:
         self.ae_bitmap.set(engine)
         self.pt_reg = self.ct_reg
         return engine
+
+    def reset(self) -> None:
+        """Return the scheduling registers to their power-on values
+        (session reset; the AE group itself is build-time state)."""
+        self.ae_bitmap.clear_all()
+        self.pt_reg = 0
+        self.ct_reg = 0
+        self._block_remaining = self.block_size
+        self.reset_stats()
 
     def _select_block(self) -> int:
         """BLOCK mode: stay on the previous target for ``block_size``

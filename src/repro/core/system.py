@@ -1,11 +1,16 @@
-"""FireGuard system assembly and simulation loop (Fig 1).
+"""FireGuard system assembly (Fig 1).
 
 ``FireGuardSystem`` wires a BOOM-like main core to the FireGuard
 elements — data-forwarding channel, event filter, allocator, CDC,
 multicast channel, mesh NoC — and a set of analysis engines (µcores
-running guardian kernels, or hardware accelerators).  The run loop
-steps the high-frequency domain every cycle and the low-frequency
-domain on alternate edges (Table II: 3.2 GHz / 1.6 GHz).
+running guardian kernels, or hardware accelerators).
+
+The cycle loop lives in :class:`repro.sim.session.SimulationSession`
+(DESIGN.md: session layer): construction here is the expensive,
+build-once part (filter SRAM programming, kernel assembly, engine
+partitioning); the session executes traces and can ``reset()`` the
+built system so many traces run on one build.  ``run`` below is a
+convenience wrapper over a private session.
 
 Engines are partitioned per kernel (the paper gives each kernel its
 own group of µcores or one HA); the mapper's distributor fans shared
@@ -14,9 +19,9 @@ instruction groups out to every subscribed kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
-from repro.clock.domain import DualDomainClock
 from repro.core.allocator import Allocator, Distributor
 from repro.core.cdc import CdcFifo
 from repro.core.config import FireGuardConfig
@@ -29,7 +34,7 @@ from repro.core.msgqueue import QueueController
 from repro.core.noc import MeshNoc, NocParams
 from repro.core.packet import Packet
 from repro.core.scheduling import SchedulingEngine
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.kernels.base import GuardianKernel
 from repro.kernels.groups import group_rules
 from repro.mem.sparse import SparseMemory
@@ -38,6 +43,9 @@ from repro.ooo.params import CoreParams
 from repro.trace.record import Trace
 from repro.ucore.assembler import assemble
 from repro.ucore.core import MicroCore, UcoreMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.session import SimulationSession
 
 
 @dataclass
@@ -119,27 +127,12 @@ class FireGuardSystem:
             next_engine += count
         total_engines = next_engine
 
-        # One config sized for the full engine complement.
-        self.config = FireGuardConfig(
-            filter_width=base_config.filter_width,
-            fifo_depth=base_config.fifo_depth,
-            num_sched_engines=len(kernels),
-            cdc_depth=base_config.cdc_depth,
-            num_engines=total_engines,
-            msgq_depth=base_config.msgq_depth,
-            peer_queue_depth=base_config.peer_queue_depth,
-            max_gids=base_config.max_gids,
-            high_freq_ghz=base_config.high_freq_ghz,
-            low_freq_ghz=base_config.low_freq_ghz,
-            noc_hop_cycles=base_config.noc_hop_cycles,
-            ucore_l1_kb=base_config.ucore_l1_kb,
-            ucore_l1_ways=base_config.ucore_l1_ways,
-            ucore_l2_latency=base_config.ucore_l2_latency,
-            ucore_llc_latency=base_config.ucore_llc_latency,
-            ucore_dram_latency=base_config.ucore_dram_latency,
-            ucore_tlb_entries=base_config.ucore_tlb_entries,
-            ucore_tlb_walk=base_config.ucore_tlb_walk,
-        )
+        # One config sized for the full engine complement.  ``replace``
+        # keeps every other field (a field-by-field rebuild once
+        # silently dropped ``mapper_width``).
+        self.config = replace(base_config,
+                              num_sched_engines=len(kernels),
+                              num_engines=total_engines)
 
         # -- main core + frontend ------------------------------------------
         self.core = MainCore(core_params or CoreParams())
@@ -195,10 +188,10 @@ class FireGuardSystem:
         self.engines: list = []
         self._build_engines()
 
-        # -- run state ----------------------------------------------------
+        # -- run state (written by the active SimulationSession) ----------
         self._now_ns = 0.0
         self._result: SystemResult | None = None
-        self.stat_mapper_blocked = 0
+        self._session: SimulationSession | None = None
 
     # -- construction helpers ---------------------------------------------
     def _program_filter(self) -> None:
@@ -281,110 +274,34 @@ class FireGuardSystem:
         self._record_alert(engine_id, 0, packet)
 
     # -- simulation -------------------------------------------------------
+    def session(self) -> "SimulationSession":
+        """The (lazily created) session driving this system.
+
+        Use it directly for build-once/run-many workflows::
+
+            session = system.session()
+            first = session.run(trace_a)
+            session.reset()
+            second = session.run(trace_b)
+        """
+        if self._session is None:
+            from repro.sim.session import SimulationSession
+            self._session = SimulationSession(self)
+        return self._session
+
     def run(self, trace: Trace,
             max_cycles: int = 50_000_000) -> SystemResult:
         """Run one workload to completion (trace consumed, queues
-        drained, engines idle) and return the system result."""
-        self._result = SystemResult(cycles=0, committed=0, time_ns=0.0,
-                                    stall_backpressure=0)
-        self.core.begin(trace, record_commit_times=True)
-        self.core.attach_observer(self.filter)
-        clock = DualDomainClock(self.config.high_domain(),
-                                self.config.low_domain())
+        drained, engines idle) and return the system result.
 
-        high_cycle = 0
-        low_cycle = 0
-        engines = self.engines
-        controllers = self.controllers
-        input_queues = [c.input_queue for c in controllers]
-
-        while True:
-            self.core.step(high_cycle)
-            self._step_mapper(high_cycle, clock.slow_cycle)
-
-            if clock.tick():
-                low_cycle = clock.slow_cycle
-                self._now_ns = clock.time_ns
-                self.cdc.note_cycle(low_cycle)
-                while not self.multicast.busy:
-                    item = self.cdc.pop(low_cycle)
-                    if item is None:
-                        break
-                    self.multicast.submit(*item)
-                self.multicast.step(low_cycle)
-                for ctrl in controllers:
-                    outgoing = ctrl.take_outgoing()
-                    if outgoing is not None:
-                        self.noc.send(ctrl.engine_id, outgoing[0],
-                                      outgoing[1], low_cycle)
-                self.noc.step(low_cycle)
-                for queue in input_queues:
-                    queue.note_cycle()
-                for engine in engines:
-                    engine.tick(low_cycle)
-
-            high_cycle += 1
-            if self.core.done and high_cycle % 8 == 0 \
-                    and self._drained(low_cycle):
-                break
-            if high_cycle >= max_cycles:
-                raise SimulationError(
-                    f"system did not drain within {max_cycles} cycles "
-                    f"(trace {trace.name}, seed {trace.seed})")
-
-        return self._finalize(high_cycle, clock)
-
-    def _step_mapper(self, high_cycle: int, slow_cycle: int) -> None:
-        """High-domain mapper slice: arbiter → allocator → CDC.
-
-        One packet per cycle in the paper's scalar design; the
-        superscalar variant (``mapper_width`` > 1, §III-C footnote 5)
-        moves several, bounded by CDC space."""
-        for _ in range(self.config.mapper_width):
-            if self.cdc.full:
-                self.stat_mapper_blocked += 1
-                return
-            packet = self.filter.arbitrate(high_cycle)
-            if packet is None:
-                return
-            mask = self.allocator.route(packet)
-            if mask:
-                self.cdc.push(packet, mask, slow_cycle)
-
-    def _drained(self, low_cycle: int) -> bool:
-        if self.filter.pending:
-            return False
-        if not self.cdc.empty or self.multicast.draining:
-            return False
-        if not self.noc.idle:
-            return False
-        for ctrl in self.controllers:
-            if ctrl.output_queue or not ctrl.input_queue.empty:
-                return False
-        return all(engine.idle_at(low_cycle) for engine in self.engines)
-
-    def _finalize(self, high_cycle: int,
-                  clock: DualDomainClock) -> SystemResult:
-        result = self._result
-        assert result is not None
-        core_result = self.core.result
-        result.cycles = high_cycle
-        result.committed = core_result.committed
-        result.time_ns = clock.time_ns
-        result.stall_backpressure = core_result.stall_backpressure
-        result.filter_full_cycles = self.filter.stat_full_cycles
-        result.mapper_blocked_cycles = self.stat_mapper_blocked
-        result.cdc_full_cycles = self.cdc.stat_full_cycles
-        result.msgq_full_cycles = sum(
-            c.input_queue.stat_full_cycles for c in self.controllers)
-        result.packets_filtered = self.filter.stat_valid_packets
-        result.packets_delivered = self.multicast.stat_delivered
-        result.engine_instructions = sum(
-            getattr(e, "stat_instructions", 0) for e in self.engines)
-        result.prf_preemptions = self.forwarding.stat_prf_reads
-        result.noc_words = self.noc.stat_sent
-        self._result = None
-        return result
+        Convenience wrapper over :meth:`session`: resets the session
+        first when it has already executed a trace, so repeated calls
+        behave like runs on freshly built systems.
+        """
+        session = self.session()
+        if session.dirty:
+            session.reset()
+        return session.run(trace, max_cycles)
 
 
 def run_baseline(trace: Trace,

@@ -21,9 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxStyle
-from repro.core.system import FireGuardSystem
-from repro.experiments.common import baseline_cycles, cached_trace
-from repro.kernels import make_kernel
+from repro.runner import RunSpec, default_runner
 from repro.utils.stats import geomean
 
 DEFAULT_BENCHMARKS = ("swaptions", "dedup", "x264")
@@ -43,17 +41,13 @@ def _geomean_slowdown(kernel_name: str, config: FireGuardConfig,
                       benchmarks: tuple[str, ...],
                       isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
                       block_size: int | None = None) -> float:
-    values = []
-    for bench in benchmarks:
-        trace = cached_trace(bench)
-        base = baseline_cycles(bench)
-        kernel = make_kernel(kernel_name)
-        if block_size is not None:
-            kernel.block_size = block_size
-        system = FireGuardSystem([kernel], config=config,
-                                 isax_style=isax_style)
-        values.append(system.run(trace).cycles / base)
-    return geomean(values)
+    specs = [RunSpec(benchmark=bench, kernels=(kernel_name,),
+                     engines_per_kernel=config.num_engines,
+                     config=config, isax_style=isax_style,
+                     block_size=block_size)
+             for bench in benchmarks]
+    records = default_runner().run(specs)
+    return geomean([record.slowdown for record in records])
 
 
 def isax_ablation(benchmarks=DEFAULT_BENCHMARKS) -> list[AblationRow]:

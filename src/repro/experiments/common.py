@@ -1,43 +1,92 @@
-"""Shared plumbing for the experiment harnesses."""
+"""Shared plumbing for the experiment harnesses.
+
+The harnesses are thin now: each one builds a batch of
+:class:`~repro.runner.spec.RunSpec` and submits it to the shared
+:func:`~repro.runner.runner.default_runner`, which memoises records
+per spec (overlapping figures simulate a configuration once) and fans
+out over worker processes when ``REPRO_WORKERS`` > 1.
+
+``run_monitored`` survives as a one-spec convenience wrapper for
+callers that want a single (result, baseline) pair.
+"""
 
 from __future__ import annotations
 
-import os
-from functools import lru_cache
+from typing import Any, Sequence
 
-from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxStyle
-from repro.core.system import FireGuardSystem, SystemResult
-from repro.kernels import make_kernel
+from repro.core.system import SystemResult
 from repro.kernels.base import KernelStrategy
-from repro.ooo.core import MainCore
-from repro.trace.generator import generate_trace
-from repro.trace.profiles import PARSEC_PROFILES
+from repro.runner import (
+    DEFAULT_SEED,
+    DEFAULT_TRACE_LEN,
+    RunRecord,
+    RunSpec,
+    SweepRunner,
+    default_runner,
+    trace_length,
+)
+from repro.runner import worker as _worker
 from repro.trace.record import Trace
 
-DEFAULT_TRACE_LEN = 8000
-DEFAULT_SEED = 7
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_TRACE_LEN",
+    "baseline_cycles",
+    "cached_trace",
+    "make_spec",
+    "run_cells",
+    "run_monitored",
+    "trace_length",
+]
 
 
-def trace_length() -> int:
-    """Trace length, overridable via REPRO_TRACE_LEN."""
-    return int(os.environ.get("REPRO_TRACE_LEN", DEFAULT_TRACE_LEN))
-
-
-@lru_cache(maxsize=64)
 def cached_trace(benchmark: str, seed: int = DEFAULT_SEED,
                  length: int | None = None) -> Trace:
-    """Generate (once) the trace for a benchmark."""
-    return generate_trace(PARSEC_PROFILES[benchmark], seed=seed,
-                          length=length or trace_length())
+    """Generate (once) the trace for a benchmark.  Shares the runner
+    worker's process-wide trace cache."""
+    return _worker.cached_trace(benchmark, seed,
+                                length or trace_length())
 
 
-@lru_cache(maxsize=64)
 def baseline_cycles(benchmark: str, seed: int = DEFAULT_SEED,
                     length: int | None = None) -> int:
-    """Unmonitored-core cycles (the slowdown denominator)."""
-    trace = cached_trace(benchmark, seed, length)
-    return MainCore().run_standalone(trace).cycles
+    """Unmonitored-core cycles (the slowdown denominator).  Shares the
+    runner worker's process-wide baseline cache."""
+    return _worker.baseline_cycles(benchmark, seed,
+                                   length or trace_length())
+
+
+def make_spec(benchmark: str, kernel_names: tuple[str, ...],
+              engines_per_kernel: int = 4,
+              accelerated: frozenset[str] = frozenset(),
+              filter_width: int = 4,
+              strategy: KernelStrategy = KernelStrategy.HYBRID,
+              isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
+              seed: int = DEFAULT_SEED,
+              length: int | None = None) -> RunSpec:
+    """A spec with the historical ``run_monitored`` defaults."""
+    from repro.core.config import FireGuardConfig
+
+    return RunSpec(benchmark=benchmark, kernels=tuple(kernel_names),
+                   engines_per_kernel=engines_per_kernel,
+                   accelerated=frozenset(accelerated),
+                   strategy=strategy, isax_style=isax_style,
+                   config=FireGuardConfig(filter_width=filter_width,
+                                          num_engines=engines_per_kernel),
+                   seed=seed, length=length)
+
+
+def run_cells(cells: Sequence[tuple[Any, RunSpec]],
+              runner: SweepRunner | None = None,
+              ) -> list[tuple[Any, RunRecord]]:
+    """Run labelled specs as one batch; ``(label, record)`` pairs come
+    back in submission order, so harnesses never maintain separate
+    label and spec lists that must stay index-aligned."""
+    runner = runner or default_runner()
+    records = runner.run([spec for _, spec in cells])
+    return [(label, record)
+            for (label, _), record in zip(cells, records)]
 
 
 def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
@@ -47,22 +96,11 @@ def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
                   strategy: KernelStrategy = KernelStrategy.HYBRID,
                   isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
                   seed: int = DEFAULT_SEED,
-                  length: int | None = None,
-                  trace: Trace | None = None) -> tuple[SystemResult, int]:
+                  length: int | None = None) -> tuple[SystemResult, int]:
     """Run one FireGuard configuration; returns (result, baseline)."""
-    if trace is None:
-        trace = cached_trace(benchmark, seed, length)
-        base = baseline_cycles(benchmark, seed, length)
-    else:
-        base = MainCore().run_standalone(trace).cycles
-        # A fresh core consumed the trace; the system below re-runs it.
-    kernels = [make_kernel(name, strategy=strategy)
-               for name in kernel_names]
-    config = FireGuardConfig(filter_width=filter_width,
-                             num_engines=engines_per_kernel)
-    system = FireGuardSystem(
-        kernels, config=config,
-        engines_per_kernel={n: engines_per_kernel for n in kernel_names},
-        accelerated=accelerated, isax_style=isax_style)
-    result = system.run(trace)
-    return result, base
+    record = default_runner().run_one(make_spec(
+        benchmark, kernel_names, engines_per_kernel=engines_per_kernel,
+        accelerated=accelerated, filter_width=filter_width,
+        strategy=strategy, isax_style=isax_style, seed=seed,
+        length=length))
+    return record.result, record.baseline_cycles

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import baseline_cycles, run_monitored
+from repro.experiments.common import make_spec, run_cells
+from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
 
 SWEEPS: dict[str, tuple[int, ...]] = {
@@ -24,15 +25,16 @@ SWEEPS: dict[str, tuple[int, ...]] = {
 
 def run(kernel_name: str,
         benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
-        counts: tuple[int, ...] | None = None) -> SlowdownTable:
+        counts: tuple[int, ...] | None = None,
+        runner: SweepRunner | None = None) -> SlowdownTable:
     counts = counts or SWEEPS[kernel_name]
+    cells = [((bench, count),
+              make_spec(bench, (kernel_name,),
+                        engines_per_kernel=count))
+             for bench in benchmarks for count in counts]
     table = SlowdownTable(list(benchmarks))
-    for bench in benchmarks:
-        base = baseline_cycles(bench)
-        for count in counts:
-            result, _ = run_monitored(bench, (kernel_name,),
-                                      engines_per_kernel=count)
-            table.record(bench, f"{count}uc", result.cycles / base)
+    for (bench, count), record in run_cells(cells, runner):
+        table.record(bench, f"{count}uc", record.slowdown)
     return table
 
 

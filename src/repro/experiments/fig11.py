@@ -11,21 +11,22 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import baseline_cycles, run_monitored
+from repro.experiments.common import make_spec, run_cells
 from repro.kernels.base import KernelStrategy
+from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
-        num_engines: int = 4) -> SlowdownTable:
+        num_engines: int = 4,
+        runner: SweepRunner | None = None) -> SlowdownTable:
+    cells = [((bench, strategy),
+              make_spec(bench, ("pmc",), engines_per_kernel=num_engines,
+                        strategy=strategy))
+             for bench in benchmarks for strategy in KernelStrategy]
     table = SlowdownTable(list(benchmarks))
-    for bench in benchmarks:
-        base = baseline_cycles(bench)
-        for strategy in KernelStrategy:
-            result, _ = run_monitored(
-                bench, ("pmc",), engines_per_kernel=num_engines,
-                strategy=strategy)
-            table.record(bench, strategy.value, result.cycles / base)
+    for (bench, strategy), record in run_cells(cells, runner):
+        table.record(bench, strategy.value, record.slowdown)
     return table
 
 

@@ -11,13 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.baselines import SCHEMES, instrument_trace
-from repro.experiments.common import (
-    baseline_cycles,
-    cached_trace,
-    run_monitored,
-)
-from repro.ooo.core import MainCore
+from repro.experiments.common import make_spec, run_cells
+from repro.runner import RunSpec, SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
 
 FIREGUARD_COLUMNS = (
@@ -37,19 +32,20 @@ SOFTWARE_COLUMNS = (
 )
 
 
-def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS) -> SlowdownTable:
-    table = SlowdownTable(list(benchmarks))
+def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        runner: SweepRunner | None = None) -> SlowdownTable:
+    cells = []
     for bench in benchmarks:
-        base = baseline_cycles(bench)
         for column, kernel_names, accelerated in FIREGUARD_COLUMNS:
-            result, _ = run_monitored(bench, kernel_names,
-                                      accelerated=accelerated)
-            table.record(bench, column, result.cycles / base)
-        trace = cached_trace(bench)
+            cells.append(((bench, column),
+                          make_spec(bench, kernel_names,
+                                    accelerated=accelerated)))
         for column, scheme in SOFTWARE_COLUMNS:
-            instrumented = instrument_trace(trace, SCHEMES[scheme])
-            cycles = MainCore().run_standalone(instrumented).cycles
-            table.record(bench, column, cycles / base)
+            cells.append(((bench, column),
+                          RunSpec(benchmark=bench, software=scheme)))
+    table = SlowdownTable(list(benchmarks))
+    for (bench, column), record in run_cells(cells, runner):
+        table.record(bench, column, record.slowdown)
     return table
 
 

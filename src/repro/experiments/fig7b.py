@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import baseline_cycles, run_monitored
+from repro.experiments.common import make_spec, run_cells
+from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
 
 COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
@@ -26,14 +27,15 @@ COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
 )
 
 
-def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS) -> SlowdownTable:
+def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        runner: SweepRunner | None = None) -> SlowdownTable:
+    cells = [((bench, column),
+              make_spec(bench, kernels, accelerated=accelerated))
+             for bench in benchmarks
+             for column, kernels, accelerated in COMBINATIONS]
     table = SlowdownTable(list(benchmarks))
-    for bench in benchmarks:
-        base = baseline_cycles(bench)
-        for column, kernels, accelerated in COMBINATIONS:
-            result, _ = run_monitored(bench, kernels,
-                                      accelerated=accelerated)
-            table.record(bench, column, result.cycles / base)
+    for (bench, column), record in run_cells(cells, runner):
+        table.record(bench, column, record.slowdown)
     return table
 
 

@@ -14,13 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.core.config import FireGuardConfig
-from repro.core.system import FireGuardSystem
-from repro.kernels import make_kernel
 from repro.kernels.pmc import DEFAULT_BOUND_HI, DEFAULT_BOUND_LO
-from repro.trace.attacks import AttackKind, inject_attacks
-from repro.trace.generator import generate_trace
-from repro.trace.profiles import PARSEC_BENCHMARKS, PARSEC_PROFILES
+from repro.runner import (
+    AttackPlan,
+    RunRecord,
+    RunSpec,
+    SweepRunner,
+    default_runner,
+)
+from repro.trace.attacks import AttackKind
+from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.utils.stats import LatencySummary, summarize_latencies
 
 KERNEL_ATTACKS = (
@@ -49,30 +52,44 @@ class LatencyRow:
                 f"{s.median:.0f}", f"{s.p90:.0f}", f"{s.maximum:.0f}"]
 
 
+def attack_spec(benchmark: str, kernel_name: str, kind: AttackKind,
+                attacks: int = 50, seed: int = 23,
+                length: int = 12000) -> RunSpec:
+    """A latency-measurement spec: attacked trace, 4 µcores, no
+    baseline run (only detections matter)."""
+    return RunSpec(
+        benchmark=benchmark, kernels=(kernel_name,), seed=seed,
+        length=length, need_baseline=False,
+        attacks=AttackPlan(kind=kind, count=attacks,
+                           pmc_bounds=(DEFAULT_BOUND_LO,
+                                       DEFAULT_BOUND_HI)))
+
+
+def _latency_row(record: RunRecord) -> LatencyRow:
+    latencies = record.result.detection_latencies()
+    summary = summarize_latencies(latencies) if latencies else None
+    return LatencyRow(benchmark=record.spec.benchmark,
+                      kernel=record.spec.kernels[0],
+                      injected=record.injected_attacks,
+                      detected=len(latencies), summary=summary)
+
+
 def run_one(benchmark: str, kernel_name: str, kind: AttackKind,
             attacks: int = 50, seed: int = 23,
             length: int = 12000) -> LatencyRow:
-    trace = generate_trace(PARSEC_PROFILES[benchmark], seed=seed,
-                           length=length)
-    pmc_bounds = (DEFAULT_BOUND_LO, DEFAULT_BOUND_HI)
-    sites = inject_attacks(trace, kind, attacks, pmc_bounds=pmc_bounds)
-    config = FireGuardConfig(num_engines=4)
-    system = FireGuardSystem([make_kernel(kernel_name)], config=config)
-    result = system.run(trace)
-    latencies = result.detection_latencies()
-    summary = summarize_latencies(latencies) if latencies else None
-    return LatencyRow(benchmark=benchmark, kernel=kernel_name,
-                      injected=len(sites), detected=len(latencies),
-                      summary=summary)
+    record = default_runner().run_one(attack_spec(
+        benchmark, kernel_name, kind, attacks, seed, length))
+    return _latency_row(record)
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
-        attacks: int = 50) -> list[LatencyRow]:
-    rows = []
-    for bench in benchmarks:
-        for kernel_name, kind in KERNEL_ATTACKS:
-            rows.append(run_one(bench, kernel_name, kind, attacks))
-    return rows
+        attacks: int = 50,
+        runner: SweepRunner | None = None) -> list[LatencyRow]:
+    runner = runner or default_runner()
+    specs = [attack_spec(bench, kernel_name, kind, attacks)
+             for bench in benchmarks
+             for kernel_name, kind in KERNEL_ATTACKS]
+    return [_latency_row(record) for record in runner.run(specs)]
 
 
 def main() -> str:

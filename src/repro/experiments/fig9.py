@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.bottleneck import BottleneckReport, bottleneck_report
 from repro.analysis.report import format_table
-from repro.experiments.common import baseline_cycles, run_monitored
+from repro.experiments.common import make_spec, run_cells
+from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.utils.stats import geomean
 
@@ -19,16 +20,16 @@ FILTER_WIDTHS = (4, 2, 1)
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
-        num_engines: int = 4) -> list[BottleneckReport]:
-    reports = []
-    for width in FILTER_WIDTHS:
-        for bench in benchmarks:
-            result, base = run_monitored(
-                bench, ("asan",), engines_per_kernel=num_engines,
-                filter_width=width)
-            reports.append(bottleneck_report(
-                bench, width, result, base, num_engines))
-    return reports
+        num_engines: int = 4,
+        runner: SweepRunner | None = None) -> list[BottleneckReport]:
+    cells = [((width, bench),
+              make_spec(bench, ("asan",),
+                        engines_per_kernel=num_engines,
+                        filter_width=width))
+             for width in FILTER_WIDTHS for bench in benchmarks]
+    return [bottleneck_report(bench, width, record.result,
+                              record.baseline_cycles, num_engines)
+            for (width, bench), record in run_cells(cells, runner)]
 
 
 def width_geomeans(reports: list[BottleneckReport]) -> dict[int, float]:

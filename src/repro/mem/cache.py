@@ -12,6 +12,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,7 @@ class CacheParams:
         return self.size_bytes // (self.ways * self.line_bytes)
 
 
-class SetAssocCache:
+class SetAssocCache(Instrumented):
     """LRU set-associative cache with an MSHR occupancy model.
 
     ``lookup`` probes and fills; the return value says whether the probe
@@ -131,6 +132,11 @@ class SetAssocCache:
         for tags in self._sets:
             tags.clear()
         self._mshr_free_at.clear()
+
+    def reset(self) -> None:
+        """Cold cache: flush contents and zero counters."""
+        self.flush()
+        self.reset_stats()
 
     @property
     def miss_rate(self) -> float:

@@ -6,6 +6,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
 @dataclass(frozen=True)
@@ -21,7 +22,7 @@ class DramParams:
             raise ConfigError("DRAM service interval must be positive")
 
 
-class DramModel:
+class DramModel(Instrumented):
     """Fixed-latency DRAM with a bounded in-flight request window.
 
     When the window is full, new requests queue behind the oldest
@@ -53,3 +54,9 @@ class DramModel:
         self.stat_requests += 1
         self.stat_queue_cycles += start - cycle
         return done - cycle
+
+    def reset(self) -> None:
+        """Drop outstanding requests and counters (session reset)."""
+        self._completion_heap.clear()
+        self._last_grant = -self.params.service_interval
+        self.reset_stats()

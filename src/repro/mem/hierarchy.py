@@ -56,6 +56,16 @@ class MemoryHierarchy:
         self.dtlb = Tlb(self.params.dtlb)
         self.itlb = Tlb(self.params.itlb)
 
+    def reset(self) -> None:
+        """Cold hierarchy: flush every level, TLBs and DRAM state."""
+        self.l1i.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.llc.reset()
+        self.dram.reset()
+        self.dtlb.reset()
+        self.itlb.reset()
+
     def access_data(self, addr: int, cycle: int) -> AccessResult:
         """A load/store data access through DTLB + L1D → … → DRAM."""
         return self._access(addr, cycle, self.l1d, self.dtlb)

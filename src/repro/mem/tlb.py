@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
 @dataclass(frozen=True)
@@ -29,7 +30,7 @@ class TlbParams:
             raise ConfigError(f"tlb {self.name}: negative walk latency")
 
 
-class Tlb:
+class Tlb(Instrumented):
     """Fully-associative LRU TLB; ``translate`` returns the added latency."""
 
     def __init__(self, params: TlbParams):
@@ -56,6 +57,11 @@ class Tlb:
 
     def flush(self) -> None:
         self._pages.clear()
+
+    def reset(self) -> None:
+        """Cold TLB: flush entries and zero counters."""
+        self.flush()
+        self.reset_stats()
 
     @property
     def miss_rate(self) -> float:

@@ -93,6 +93,32 @@ class MainCore:
         self._fetch_stall_until = 0
         self._last_fetch_line = -1
         self._in_flight = 0
+        self._stall_reason_redirect = False
+        self.result = CoreResult(cycles=0, committed=0)
+        self._record_commit_times = False
+
+    def reset(self) -> None:
+        """Return the core to its just-constructed state: cold caches
+        and TLBs, untrained predictor, empty queues and run state.
+
+        ``begin`` resets only the per-run bookkeeping (so warm-up can
+        be shared); ``reset`` is the stronger guarantee the simulation
+        session needs to make a reused core bit-identical to a fresh
+        one."""
+        self.hierarchy.reset()
+        self.predictor.reset()
+        self.rob.reset()
+        self.lsq.reset()
+        self.prf.reset()
+        self.fu_pool.reset()
+        self._observer = None
+        self._trace = []
+        self._next_dispatch = 0
+        self._reg_ready = {}
+        self._fetch_stall_until = 0
+        self._last_fetch_line = -1
+        self._in_flight = 0
+        self._stall_reason_redirect = False
         self.result = CoreResult(cycles=0, committed=0)
         self._record_commit_times = False
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.isa.opcodes import InstrClass
+from repro.utils.stats import Instrumented
 
 
 @dataclass(frozen=True)
@@ -23,7 +24,7 @@ class FuParams:
             raise ConfigError("FU initiation interval must be positive")
 
 
-class FunctionalUnitPool:
+class FunctionalUnitPool(Instrumented):
     """Greedy earliest-free unit selection per instruction class."""
 
     def __init__(self, units: dict[str, FuParams],
@@ -34,6 +35,12 @@ class FunctionalUnitPool:
             name: [0] * p.count for name, p in units.items()
         }
         self.stat_structural_waits = 0
+
+    def reset(self) -> None:
+        """Free every unit and zero counters (session reset)."""
+        for name, params in self._params.items():
+            self._next_free[name] = [0] * params.count
+        self.reset_stats()
 
     def unit_for(self, iclass: InstrClass) -> str:
         name = self._class_map.get(iclass)

@@ -23,6 +23,11 @@ class LoadStoreQueues:
         self.ldq_count = 0
         self.stq_count = 0
 
+    def reset(self) -> None:
+        """Empty both queues (session reset)."""
+        self.ldq_count = 0
+        self.stq_count = 0
+
     def can_dispatch(self, iclass: InstrClass) -> bool:
         if iclass is InstrClass.LOAD:
             return self.ldq_count < self.ldq_capacity

@@ -13,9 +13,10 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.errors import ConfigError
+from repro.utils.stats import Instrumented
 
 
-class PhysicalRegisterFile:
+class PhysicalRegisterFile(Instrumented):
     def __init__(self, read_ports: int, phys_regs: int = 128):
         if read_ports <= 0:
             raise ConfigError("PRF needs at least one read port")
@@ -26,6 +27,13 @@ class PhysicalRegisterFile:
         self.stat_preemptions = 0
         self.stat_contention_slips = 0
         self._prune_mark = 0
+
+    def reset(self) -> None:
+        """Clear all port reservations and counters (session reset)."""
+        self._used.clear()
+        self._preempted.clear()
+        self._prune_mark = 0
+        self.reset_stats()
 
     def preempt_port(self, cycle: int, count: int = 1) -> None:
         """The forwarding channel takes ``count`` ports at ``cycle``

@@ -6,6 +6,7 @@ from collections import deque
 
 from repro.errors import ConfigError, SimulationError
 from repro.trace.record import InstrRecord
+from repro.utils.stats import Instrumented
 
 
 class RobEntry:
@@ -16,7 +17,7 @@ class RobEntry:
         self.completion = completion
 
 
-class ReorderBuffer:
+class ReorderBuffer(Instrumented):
     """Fixed-capacity FIFO of in-flight instructions."""
 
     def __init__(self, entries: int):
@@ -51,3 +52,8 @@ class ReorderBuffer:
         if not self._entries:
             raise SimulationError("commit from empty ROB")
         return self._entries.popleft()
+
+    def reset(self) -> None:
+        """Empty the window and zero counters (session reset)."""
+        self._entries.clear()
+        self.reset_stats()

@@ -1,0 +1,44 @@
+"""Parallel sweep runner (DESIGN.md: runner layer).
+
+Declarative experiment execution over the session layer::
+
+    from repro.runner import RunSpec, SweepRunner, sweep
+
+    specs = sweep(("swaptions", "dedup"),
+                  kernels=[("pmc",), ("asan",)],
+                  engines_per_kernel=[2, 4, 8])
+    records = SweepRunner(workers=4).run(specs)
+    for record in records:
+        print(record.spec.benchmark, record.slowdown)
+
+Specs are hashable descriptions of a run; the runner memoises records
+by deterministic cache key and fans uncached work out over processes,
+each of which builds every distinct system once and resets its session
+between traces.
+"""
+
+from repro.runner.runner import SweepRunner, default_runner, default_workers
+from repro.runner.spec import (
+    DEFAULT_SEED,
+    DEFAULT_TRACE_LEN,
+    AttackPlan,
+    RunRecord,
+    RunSpec,
+    sweep,
+    trace_length,
+)
+from repro.runner.worker import execute_spec
+
+__all__ = [
+    "AttackPlan",
+    "DEFAULT_SEED",
+    "DEFAULT_TRACE_LEN",
+    "RunRecord",
+    "RunSpec",
+    "SweepRunner",
+    "default_runner",
+    "default_workers",
+    "execute_spec",
+    "sweep",
+    "trace_length",
+]

@@ -1,0 +1,118 @@
+"""The sweep runner: cached, optionally parallel spec execution.
+
+``SweepRunner.run`` takes an ordered list of
+:class:`~repro.runner.spec.RunSpec` and returns matching
+:class:`~repro.runner.spec.RunRecord` in the same order.  Results are
+memoised per spec (deterministic ``cache_key``), so overlapping
+sweeps — e.g. the asan/4-µcore point shared by Figs 7a, 9 and 10 —
+simulate once per process.
+
+With ``workers > 1`` the uncached specs fan out over a
+``ProcessPoolExecutor``; the per-process caches in
+:mod:`repro.runner.worker` give each worker the build-once/run-many
+benefit, and chunked submission keeps consecutive same-system specs
+on the same worker.  Results are deterministic regardless of worker
+count because every run starts from a reset session.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.runner.spec import RunRecord, RunSpec
+from repro.runner.worker import execute_spec, execute_specs
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1 = in-process)."""
+    return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+class SweepRunner:
+    """Executes spec batches with memoisation and parallel fan-out."""
+
+    def __init__(self, workers: int | None = None,
+                 cache: bool = True):
+        self.workers = workers
+        self._cache: dict[str, RunRecord] | None = {} if cache else None
+
+    def _resolved_workers(self, pending: int) -> int:
+        workers = self.workers if self.workers is not None \
+            else default_workers()
+        return max(1, min(workers, pending))
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        """Execute ``specs``; returns records in submission order."""
+        specs = list(specs)
+        keys = [spec.cache_key() for spec in specs]
+        records: dict[int, RunRecord] = {}
+        pending: list[tuple[int, RunSpec]] = []
+        claimed: set[str] = set()
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            cached = None if self._cache is None else self._cache.get(key)
+            if cached is not None:
+                records[index] = cached
+            elif key in claimed:
+                continue  # duplicate within this batch: run once
+            else:
+                claimed.add(key)
+                pending.append((index, spec))
+
+        if pending:
+            workers = self._resolved_workers(len(pending))
+            if workers > 1:
+                # Group same-system specs so a chunk lands its whole
+                # run of builds on one worker (records are re-keyed by
+                # index below, so reordering is invisible to callers).
+                pending.sort(
+                    key=lambda item: repr(item[1].system_key()))
+            fresh = self._execute(
+                [spec for _, spec in pending], workers)
+            for (index, spec), record in zip(pending, fresh):
+                records[index] = record
+                if self._cache is not None:
+                    self._cache[keys[index]] = record
+
+        # Fill batch-internal duplicates from the freshly run copies.
+        by_key = {keys[i]: rec for i, rec in records.items()}
+        return [records.get(i) or by_key[keys[i]]
+                for i in range(len(specs))]
+
+    def run_one(self, spec: RunSpec) -> RunRecord:
+        return self.run([spec])[0]
+
+    def _execute(self, specs: list[RunSpec],
+                 workers: int) -> list[RunRecord]:
+        if workers <= 1:
+            return [execute_spec(spec) for spec in specs]
+        # Specs arrive sorted by system key.  Each task is one
+        # same-system group (split only when a group exceeds the
+        # load-balancing target), so a worker pays each expensive
+        # system build exactly once per group it receives.
+        target = max(1, -(-len(specs) // (workers * 2)))
+        chunks: list[list[RunSpec]] = []
+        start = 0
+        for end in range(1, len(specs) + 1):
+            if end == len(specs) or specs[end].system_key() \
+                    != specs[start].system_key():
+                group = specs[start:end]
+                chunks.extend(group[i:i + target]
+                              for i in range(0, len(group), target))
+                start = end
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = pool.map(execute_specs, chunks)
+            return [record for batch in batches for record in batch]
+
+
+_DEFAULT_RUNNER: SweepRunner | None = None
+
+
+def default_runner() -> SweepRunner:
+    """Process-wide shared runner: one result cache for every harness,
+    so figures that revisit a configuration reuse its record."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = SweepRunner()
+    return _DEFAULT_RUNNER

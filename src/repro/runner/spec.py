@@ -1,0 +1,187 @@
+"""Declarative run specifications (DESIGN.md: runner layer).
+
+A :class:`RunSpec` names everything that determines one simulation's
+outcome — benchmark, kernel set, configuration, seed, attack plan —
+without holding any simulator object, so specs are hashable, picklable
+across worker processes, and stable cache keys.  :func:`sweep` builds
+grids of specs declaratively; :class:`RunRecord` is the structured
+result the runner hands back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Any, Iterable
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import SystemResult
+from repro.errors import ConfigError
+from repro.kernels.base import KernelStrategy
+from repro.trace.attacks import AttackKind
+
+DEFAULT_TRACE_LEN = 8000
+DEFAULT_SEED = 7
+
+
+def trace_length() -> int:
+    """Default trace length, overridable via ``REPRO_TRACE_LEN``."""
+    return int(os.environ.get("REPRO_TRACE_LEN", DEFAULT_TRACE_LEN))
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """Attack injection for a spec (Fig 8 latency experiments)."""
+
+    kind: AttackKind
+    count: int
+    pmc_bounds: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigError("attack count must be positive")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation to run: workload × kernel set × configuration.
+
+    ``kernels`` may be empty only when ``software`` names an
+    LLVM-instrumentation baseline scheme (the trace is instrumented
+    and run on an unmonitored core instead of building a FireGuard
+    system).
+    """
+
+    benchmark: str
+    kernels: tuple[str, ...] = ()
+    engines_per_kernel: int = 4
+    accelerated: frozenset[str] = frozenset()
+    strategy: KernelStrategy = KernelStrategy.HYBRID
+    isax_style: IsaxStyle = IsaxStyle.MA_STAGE
+    config: FireGuardConfig = field(default_factory=FireGuardConfig)
+    block_size: int | None = None
+    seed: int = DEFAULT_SEED
+    length: int | None = None
+    attacks: AttackPlan | None = None
+    software: str | None = None
+    need_baseline: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.kernels and self.software is None:
+            raise ConfigError(
+                "RunSpec needs kernels or a software scheme")
+        if self.kernels and self.software is not None:
+            raise ConfigError(
+                "RunSpec cannot mix kernels with a software scheme")
+        if self.engines_per_kernel <= 0:
+            raise ConfigError("engines_per_kernel must be positive")
+        # Normalise collection types so equal specs hash equally.
+        if not isinstance(self.kernels, tuple):
+            object.__setattr__(self, "kernels", tuple(self.kernels))
+        if not isinstance(self.accelerated, frozenset):
+            object.__setattr__(self, "accelerated",
+                               frozenset(self.accelerated))
+
+    # -- derived keys ------------------------------------------------------
+    def resolved_length(self) -> int:
+        """Trace length with the environment default applied."""
+        return self.length if self.length is not None else trace_length()
+
+    def system_key(self) -> tuple:
+        """Everything that shapes the *built* system (not the trace).
+
+        Specs sharing a system key can reuse one built
+        ``FireGuardSystem`` through session reset — the build-once /
+        run-many contract the worker exploits.
+        """
+        return (self.kernels, self.engines_per_kernel,
+                tuple(sorted(self.accelerated)), self.strategy.value,
+                self.isax_style.value, self.config, self.block_size)
+
+    def _canonical(self) -> tuple:
+        attacks = None
+        if self.attacks is not None:
+            attacks = (self.attacks.kind.name, self.attacks.count,
+                       self.attacks.pmc_bounds)
+        return (self.benchmark, self.system_key(), self.seed,
+                self.resolved_length(), attacks, self.software,
+                self.need_baseline)
+
+    def cache_key(self) -> str:
+        """Deterministic digest of the spec (stable across processes
+        and hash randomisation) for the runner's per-spec cache."""
+        return hashlib.sha256(
+            repr(self._canonical()).encode()).hexdigest()
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with fields replaced (grid-building convenience)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Structured outcome of one executed spec."""
+
+    spec: RunSpec
+    result: SystemResult
+    baseline_cycles: int = 0
+    injected_attacks: int = 0
+
+    @property
+    def slowdown(self) -> float:
+        """Monitored cycles over unmonitored-baseline cycles (the
+        ratio every figure reports)."""
+        if self.baseline_cycles <= 0:
+            raise ConfigError(
+                "spec was executed with need_baseline=False")
+        return self.result.cycles / self.baseline_cycles
+
+    @property
+    def detected_attacks(self) -> int:
+        return len(self.result.detections)
+
+
+_LIST_FIELDS = {f for f in RunSpec.__dataclass_fields__}
+
+
+def sweep(benchmarks: Iterable[str], **axes: Iterable[Any] | Any,
+          ) -> list[RunSpec]:
+    """Build the cartesian grid of specs over ``benchmarks`` × axes.
+
+    Each keyword is a ``RunSpec`` field; list/tuple values become sweep
+    axes, scalars are fixed.  Axes expand in keyword order with the
+    benchmark as the outermost axis (the runner itself groups specs by
+    system configuration before fanning out)::
+
+        sweep(("swaptions", "dedup"),
+              kernels=[("pmc",), ("asan",)],
+              engines_per_kernel=[2, 4, 8])      # 2*2*3 = 12 specs
+    """
+    names: list[str] = []
+    values: list[list[Any]] = []
+    fixed: dict[str, Any] = {}
+    for name, value in axes.items():
+        if name not in _LIST_FIELDS:
+            raise ConfigError(f"unknown RunSpec field {name!r}")
+        if isinstance(value, (list, tuple)) and name not in (
+                "kernels", "accelerated"):
+            names.append(name)
+            values.append(list(value))
+        elif name in ("kernels", "accelerated") and value \
+                and isinstance(value, (list, tuple)) \
+                and isinstance(next(iter(value)), (list, tuple,
+                                                   frozenset, set)):
+            # A list of kernel sets / accelerated sets is an axis.
+            names.append(name)
+            values.append(list(value))
+        else:
+            fixed[name] = value
+    specs = []
+    for benchmark in benchmarks:
+        for combo in product(*values):
+            specs.append(RunSpec(benchmark=benchmark,
+                                 **dict(zip(names, combo)), **fixed))
+    return specs

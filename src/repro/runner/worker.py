@@ -1,0 +1,156 @@
+"""Spec execution with per-process build/trace/baseline caches.
+
+This module is the unit of work shared by the serial backend and the
+``ProcessPoolExecutor`` backend: :func:`execute_spec` turns one
+:class:`~repro.runner.spec.RunSpec` into a
+:class:`~repro.runner.spec.RunRecord`.
+
+The module-level caches are deliberate: under the process pool each
+worker imports this module once and keeps its caches for the life of
+the pool, so a sweep that runs many traces through the same system
+configuration pays the expensive build (filter SRAM programming,
+kernel assembly, engine construction) once per worker and resets the
+session between traces — the ARTIQ-style "initialise once, run the
+batch" idiom.  Everything here is deterministic, so cached and fresh
+executions are bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import SCHEMES, instrument_trace
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.ooo.core import MainCore
+from repro.runner.spec import RunRecord, RunSpec
+from repro.sim.session import SimulationSession
+from repro.trace.attacks import inject_attacks
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.record import Trace
+
+# Per-process caches (worker lifetime).
+_SESSIONS: dict[tuple, SimulationSession] = {}
+_TRACES: dict[tuple, Trace] = {}
+_BASELINES: dict[tuple, int] = {}
+
+
+def clear_caches() -> None:
+    """Drop every per-process cache (tests and memory control)."""
+    _SESSIONS.clear()
+    _TRACES.clear()
+    _BASELINES.clear()
+
+
+def cached_trace(benchmark: str, seed: int, length: int) -> Trace:
+    """The (cached) clean trace for a workload.  Runs never mutate
+    traces, so one copy is shared process-wide."""
+    key = (benchmark, seed, length)
+    trace = _TRACES.get(key)
+    if trace is None:
+        trace = generate_trace(PARSEC_PROFILES[benchmark], seed=seed,
+                               length=length)
+        _TRACES[key] = trace
+    return trace
+
+
+def _trace_for(spec: RunSpec) -> tuple[Trace, int]:
+    """The spec's trace and the number of injected attacks.
+
+    Attacked traces are generated fresh because ``inject_attacks``
+    mutates records in place.
+    """
+    length = spec.resolved_length()
+    if spec.attacks is None:
+        return cached_trace(spec.benchmark, spec.seed, length), 0
+    trace = generate_trace(PARSEC_PROFILES[spec.benchmark],
+                           seed=spec.seed, length=length)
+    sites = inject_attacks(trace, spec.attacks.kind, spec.attacks.count,
+                           pmc_bounds=spec.attacks.pmc_bounds)
+    return trace, len(sites)
+
+
+def baseline_cycles(benchmark: str, seed: int, length: int) -> int:
+    """Unmonitored-core cycles for a clean workload (the slowdown
+    denominator), cached process-wide."""
+    key = (benchmark, seed, length, None)
+    cycles = _BASELINES.get(key)
+    if cycles is None:
+        cycles = MainCore().run_standalone(
+            cached_trace(benchmark, seed, length)).cycles
+        _BASELINES[key] = cycles
+    return cycles
+
+
+def _baseline_for(spec: RunSpec, trace: Trace) -> int:
+    """Baseline cycles for the spec's (possibly attacked) trace."""
+    attacks = spec.attacks
+    if attacks is None:
+        return baseline_cycles(spec.benchmark, spec.seed,
+                               spec.resolved_length())
+    key = (spec.benchmark, spec.seed, spec.resolved_length(),
+           (attacks.kind.name, attacks.count, attacks.pmc_bounds))
+    cycles = _BASELINES.get(key)
+    if cycles is None:
+        cycles = MainCore().run_standalone(trace).cycles
+        _BASELINES[key] = cycles
+    return cycles
+
+
+def _session_for(spec: RunSpec) -> SimulationSession:
+    """A clean session for the spec's system configuration, building
+    the system only on first use in this process."""
+    key = spec.system_key()
+    session = _SESSIONS.get(key)
+    if session is None:
+        kernels = [make_kernel(name, strategy=spec.strategy)
+                   for name in spec.kernels]
+        if spec.block_size is not None:
+            for kernel in kernels:
+                kernel.block_size = spec.block_size
+        system = FireGuardSystem(
+            kernels,
+            config=spec.config,
+            engines_per_kernel={name: spec.engines_per_kernel
+                                for name in spec.kernels},
+            accelerated=spec.accelerated,
+            isax_style=spec.isax_style)
+        session = system.session()
+        _SESSIONS[key] = session
+    elif session.dirty:
+        session.reset()
+    return session
+
+
+def _run_software(spec: RunSpec, trace: Trace) -> "SystemResult":
+    """Run the trace under an LLVM-instrumentation baseline scheme on
+    an unmonitored core (Fig 7a's software columns)."""
+    from repro.core.system import SystemResult
+
+    scheme = SCHEMES[spec.software]
+    instrumented = instrument_trace(trace, scheme)
+    core_result = MainCore().run_standalone(instrumented)
+    return SystemResult(cycles=core_result.cycles,
+                        committed=core_result.committed,
+                        time_ns=0.0,
+                        stall_backpressure=0)
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Execute one spec in this process and return its record."""
+    trace, injected = _trace_for(spec)
+    baseline = _baseline_for(spec, trace) if spec.need_baseline else 0
+    if spec.software is not None:
+        result = _run_software(spec, trace)
+    else:
+        result = _session_for(spec).run(trace)
+    return RunRecord(spec=spec, result=result, baseline_cycles=baseline,
+                     injected_attacks=injected)
+
+
+def execute_specs(specs: list[RunSpec]) -> list[RunRecord]:
+    """Execute a batch of specs in order in this process.
+
+    The pool backend submits one same-system group per task, so the
+    whole group shares this worker's built system via session reset.
+    """
+    return [execute_spec(spec) for spec in specs]

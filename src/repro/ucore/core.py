@@ -30,6 +30,7 @@ from repro.errors import SimulationError
 from repro.mem.cache import CacheParams, SetAssocCache
 from repro.mem.sparse import SparseMemory
 from repro.mem.tlb import Tlb, TlbParams
+from repro.utils.stats import Instrumented
 from repro.ucore.isa import (
     BRANCH_OPS,
     LATE_RESULT_OPS,
@@ -67,6 +68,14 @@ class UcoreMemory:
             name="uLLC", size_bytes=4 * 1024 * 1024, ways=8,
             hit_latency=config.ucore_llc_latency, mshrs=8))
 
+    def reset(self) -> None:
+        """Fresh shared memory: new functional store (shadow memory,
+        quarantine lists and shadow stacks from the previous trace must
+        not leak into the next run) and cold shared caches."""
+        self.data = SparseMemory()
+        self.l2.reset()
+        self.llc.reset()
+
     def miss_latency(self, addr: int, low_cycle: int) -> int:
         """Latency beyond the µcore's L1 for a missing line."""
         latency = self.config.ucore_l2_latency
@@ -84,10 +93,17 @@ class UcoreMemory:
         return latency + self.config.ucore_dram_latency
 
 
-class MicroCore:
+class MicroCore(Instrumented):
     """One analysis engine executing a guardian-kernel program."""
 
     SPIN_IDLE_WINDOW = 64
+
+    # What a blocked engine is waiting for (drives the session's
+    # idle-skip: a blocked engine need not tick until its wait can
+    # possibly resolve).
+    _WAIT_INPUT = "input"
+    _WAIT_PEER = "peer"
+    _WAIT_OUTPUT = "output"
 
     def __init__(self, engine_id: int, program: list[UInstr],
                  controller: QueueController, memory: UcoreMemory,
@@ -124,6 +140,8 @@ class MicroCore:
         self._stall_until = 0
         self._prev_was_queue_op = False
         self._instrs_since_effect = 0
+        self._blocked_on: str | None = None
+        self._presets: dict[int, int] = {}
         self.stat_instructions = 0
         self.stat_stall_cycles = 0
         self.stat_pops = 0
@@ -131,11 +149,32 @@ class MicroCore:
 
     # -- setup -------------------------------------------------------------
     def preset_registers(self, values: dict[int, int]) -> None:
-        """Load kernel configuration registers before the run."""
+        """Load kernel configuration registers before the run.
+
+        The values are remembered so :meth:`reset` can restore them."""
         for reg, value in values.items():
             if not 0 < reg < 32:
                 raise SimulationError(f"cannot preset register x{reg}")
             self.regs[reg] = value & _MASK64
+            self._presets[reg] = value & _MASK64
+
+    def reset(self) -> None:
+        """Power-on state with the program and presets retained: the
+        session reuses one assembled engine across many traces."""
+        self.regs = [0] * 32
+        self.regs[2] = 0x0000_7000_0000_0000 + self.engine_id * 0x1_0000
+        for reg, value in self._presets.items():
+            self.regs[reg] = value
+        self.pc = 0
+        self.halted = False
+        self.blocked = False
+        self.l1d.reset()
+        self.tlb.reset()
+        self._stall_until = 0
+        self._prev_was_queue_op = False
+        self._instrs_since_effect = 0
+        self._blocked_on = None
+        self.reset_stats()
 
     # -- idle / drain detection --------------------------------------------
     def idle_at(self, low_cycle: int) -> bool:
@@ -155,6 +194,29 @@ class MicroCore:
         # D$-miss stalls from looking like idleness (a kernel doing
         # real work issues an effect at least every few instructions).
         return self._instrs_since_effect > self.SPIN_IDLE_WINDOW
+
+    def can_skip(self) -> bool:
+        """True when ``tick`` is provably a no-op this cycle, so the
+        session's low-domain loop may skip the engine entirely.
+
+        Unlike :meth:`idle_at` (a drain heuristic that also covers
+        spin loops), this is conservative: only a halted engine, or one
+        blocked on a queue whose state cannot let the retried
+        instruction complete, qualifies.  Blocked engines skip stall
+        accounting while parked; architectural state is unaffected."""
+        if self.halted:
+            return True
+        if not self.blocked:
+            return False
+        ctrl = self.controller
+        waiting = self._blocked_on
+        if waiting == self._WAIT_INPUT:
+            return ctrl.input_queue.empty
+        if waiting == self._WAIT_PEER:
+            return ctrl.peer_queue.empty
+        if waiting == self._WAIT_OUTPUT:
+            return not ctrl.can_push()
+        return False
 
     # -- execution ---------------------------------------------------------
     def tick(self, low_cycle: int) -> None:
@@ -176,6 +238,7 @@ class MicroCore:
             self._stall_until = low_cycle + 1
             return
         self.blocked = False
+        self._blocked_on = None
         self.stat_instructions += 1
         self._instrs_since_effect += 1
         self._stall_until = low_cycle + cost
@@ -354,10 +417,12 @@ class MicroCore:
             result = ctrl.count(instr.imm)
         elif op == Op.QTOP:
             if ctrl.input_queue.empty:
+                self._blocked_on = self._WAIT_INPUT
                 return 0
             result = ctrl.input_queue.top(instr.imm)
         elif op == Op.QPOP:
             if ctrl.input_queue.empty:
+                self._blocked_on = self._WAIT_INPUT
                 return 0
             result = ctrl.input_queue.pop(instr.imm)
             self.stat_pops += 1
@@ -368,11 +433,13 @@ class MicroCore:
             result = len(ctrl.peer_queue)
         elif op == Op.PPOP:
             if ctrl.peer_queue.empty:
+                self._blocked_on = self._WAIT_PEER
                 return 0
             result = ctrl.peer_queue.pop()
             self._instrs_since_effect = 0
         elif op == Op.QPUSH:
             if not ctrl.push(regs[instr.rs1]):
+                self._blocked_on = self._WAIT_OUTPUT
                 return 0
             self._instrs_since_effect = 0
         elif op == Op.QDEST:

@@ -3,6 +3,11 @@
 The paper reports geometric-mean slowdowns (Figs 7, 9, 10, 11) and
 latency distributions (Fig 8); these helpers compute both without
 pulling in numpy for the core library.
+
+This module also defines :class:`Instrumented`, the uniform counter
+protocol every simulated component implements (DESIGN.md): counters
+live in ``stat_*`` attributes, ``stats()`` exposes them as a dict, and
+``reset_stats()`` zeroes them between runs.
 """
 
 from __future__ import annotations
@@ -12,6 +17,33 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import ReproError
+
+
+class Instrumented:
+    """Uniform statistics protocol for simulated components.
+
+    A component declares its counters as instance attributes named
+    ``stat_<counter>``.  ``stats()`` returns them keyed without the
+    prefix, so callers never reach into individual attributes, and
+    ``reset_stats()`` zeroes every counter in place (the
+    :class:`~repro.sim.session.SimulationSession` calls it from
+    ``reset()``).
+    """
+
+    STAT_PREFIX = "stat_"
+
+    def stats(self) -> dict[str, int]:
+        """All ``stat_*`` counters, keyed without the prefix."""
+        prefix = self.STAT_PREFIX
+        return {name[len(prefix):]: value
+                for name, value in vars(self).items()
+                if name.startswith(prefix)}
+
+    def reset_stats(self) -> None:
+        """Zero every ``stat_*`` counter in place."""
+        for name in vars(self):
+            if name.startswith(self.STAT_PREFIX):
+                setattr(self, name, 0)
 
 
 def geomean(values: Iterable[float]) -> float:

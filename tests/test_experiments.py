@@ -122,8 +122,43 @@ class TestCli:
         assert cli_main([]) == 0
         assert "fig7a" in capsys.readouterr().out
 
+    def test_help_flag_lists_every_registered_id(self, capsys):
+        from repro.experiments.__main__ import _EXPERIMENTS
+
+        assert cli_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in _EXPERIMENTS:
+            assert name in out
+        assert "all" in out
+
     def test_unknown(self, capsys):
         assert cli_main(["nope"]) == 2
+
+    def test_unknown_id_message_names_alternatives(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        out = capsys.readouterr().out
+        assert "fig99" in out
+        assert "available" in out
+        assert "fig10" in out
+
+    def test_every_registered_id_is_callable(self):
+        from repro.experiments.__main__ import _EXPERIMENTS
+
+        for name, entry in _EXPERIMENTS.items():
+            assert callable(entry), name
+
+    def test_dispatch_reaches_each_entry(self, capsys, monkeypatch):
+        """Dispatch invokes exactly the registered main() for each id
+        (stubbed so the full figures don't actually run)."""
+        from repro.experiments import __main__ as cli
+
+        calls = []
+        stubbed = {name: (lambda name=name: calls.append(name))
+                   for name in cli._EXPERIMENTS}
+        monkeypatch.setattr(cli, "_EXPERIMENTS", stubbed)
+        for name in stubbed:
+            assert cli.main([name]) == 0
+        assert calls == list(stubbed)
 
     def test_dispatch_table2(self, capsys):
         assert cli_main(["table2"]) == 0

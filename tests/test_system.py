@@ -56,6 +56,19 @@ class TestConstruction:
         ses = system.distributor.interested_ses(1)  # GROUP_MEM
         assert len(ses) == 2
 
+    def test_config_fields_survive_resize(self):
+        """Regression: the engine-complement resize once rebuilt the
+        config field by field and silently dropped mapper_width."""
+        config = FireGuardConfig(mapper_width=2, fifo_depth=32,
+                                 noc_hop_cycles=3)
+        system = FireGuardSystem([make_kernel("pmc")], config=config)
+        assert system.config.mapper_width == 2
+        assert system.config.fifo_depth == 32
+        assert system.config.noc_hop_cycles == 3
+        # The resized fields still track the kernel partitioning.
+        assert system.config.num_sched_engines == 1
+        assert system.config.num_engines == len(system.engines)
+
 
 class TestRunBehaviour:
     def test_monitored_run_completes_and_commits_all(self):
