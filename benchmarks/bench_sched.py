@@ -1,0 +1,139 @@
+"""Event-driven scheduler vs dense-loop benchmark (BENCH_sched.json).
+
+Measures the wall-clock effect of the cycle-wheel wakeup scheduler
+(:mod:`repro.sched`) against the dense reference loop, at the issue's
+headline configuration — 12 µcores, where most engines spend most low
+cycles blocked — plus a 4-µcore contrast point.  Results are written
+to ``BENCH_sched.json`` (repo root or ``REPRO_BENCH_OUT``), which CI
+uploads as an artifact to build the perf trajectory over PRs.
+
+Every timed pair also asserts bit-identity, so the benchmark doubles
+as an end-to-end A/B check on real workloads.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import bench_set
+
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.sim import SimulationSession
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "6000"))
+ROUNDS = int(os.environ.get("REPRO_SCHED_ROUNDS", "3"))
+# Strict mode (default) asserts a genuine speedup at 12 µcores — the
+# issue's acceptance bar, run locally on a quiet machine.  CI smoke
+# runs set REPRO_SCHED_STRICT=0: shared runners are too noisy to gate
+# on a ~10 % wall-clock margin, so they only guard against a gross
+# regression while still recording the exact numbers in the artifact.
+STRICT = os.environ.get("REPRO_SCHED_STRICT", "1") == "1"
+MIN_SPEEDUP = 1.0 if STRICT else 0.85
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_sched.json"
+
+
+def _sessions(engines: int):
+    def fresh(dense):
+        return SimulationSession(
+            FireGuardSystem([make_kernel("asan")],
+                            engines_per_kernel={"asan": engines}),
+            dense=dense)
+    return fresh(True), fresh(False)
+
+
+def _run_all(session, traces):
+    results = []
+    for trace in traces:
+        if session.dirty:
+            session.reset()
+        results.append(session.run(trace))
+    return results
+
+
+def _measure(engines: int) -> dict:
+    """Interleaved best-of-N dense/event timing over the benchmark
+    set; returns one row for BENCH_sched.json.
+
+    One untimed warm-up pass first (interpreter and cache warm-up),
+    then each timed round alternates which loop is measured first so
+    clock-frequency drift cancels instead of biasing one side.
+    """
+    traces = [generate_trace(PARSEC_PROFILES[name], seed=5,
+                             length=TRACE_LEN)
+              for name in bench_set()]
+    dense_sess, event_sess = _sessions(engines)
+    assert _run_all(dense_sess, traces) == _run_all(event_sess, traces), \
+        f"event loop diverged from dense at {engines} engines"
+    best_dense = best_event = float("inf")
+    for round_index in range(ROUNDS):
+        if round_index % 2 == 0:
+            order = ((dense_sess, "dense"), (event_sess, "event"))
+        else:
+            order = ((event_sess, "event"), (dense_sess, "dense"))
+        for session, which in order:
+            t0 = time.perf_counter()
+            _run_all(session, traces)
+            elapsed = time.perf_counter() - t0
+            if which == "dense":
+                best_dense = min(best_dense, elapsed)
+            else:
+                best_event = min(best_event, elapsed)
+    # Untimed pass to aggregate skip statistics across the whole set
+    # (session reset zeroes counters between traces).
+    keys = ("low_cycles_skipped", "high_cycles_fastforwarded",
+            "engine_ticks_skipped")
+    totals = dict.fromkeys(keys, 0)
+    for trace in traces:
+        if event_sess.dirty:
+            event_sess.reset()
+        event_sess.run(trace)
+        stats = event_sess.stats()
+        for key in keys:
+            totals[key] += stats[key]
+    return {
+        "engines": engines,
+        "benchmarks": list(bench_set()),
+        "trace_len": TRACE_LEN,
+        "dense_s": round(best_dense, 4),
+        "event_s": round(best_event, 4),
+        "speedup": round(best_dense / best_event, 4),
+        **totals,
+    }
+
+
+def test_event_scheduler_speedup_at_12_ucores(benchmark):
+    """The issue's acceptance point: event-driven beats the PR-1
+    idle-skip (dense) baseline at 12 µcores, bit-identically."""
+    row = _measure(engines=12)
+
+    # Give pytest-benchmark one representative timed run for its table.
+    trace = generate_trace(PARSEC_PROFILES[bench_set()[0]], seed=5,
+                           length=TRACE_LEN)
+    _, event_sess = _sessions(12)
+
+    def run():
+        if event_sess.dirty:
+            event_sess.reset()
+        return event_sess.run(trace).cycles
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0
+
+    rows = [row, _measure(engines=4)]
+    out = _out_path()
+    out.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+
+    assert row["low_cycles_skipped"] > 0
+    # Wall-clock improvement at 12 µcores over the dense idle-skip
+    # baseline (the acceptance criterion; 4-µcore row is informational).
+    assert row["speedup"] > MIN_SPEEDUP, (
+        f"event loop not faster at 12 µcores: {row}")

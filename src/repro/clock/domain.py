@@ -59,6 +59,13 @@ class DualDomainClock:
         self.slow_cycle = 0
         self._ratio = slow.freq_ghz / fast.freq_ghz
         self._accum = 0.0
+        # accumulator value -> (fast, slow) stride proven to return the
+        # accumulator exactly to that value (see _periodic_stride).
+        # Bounded: a periodic orbit holds at most _STRIDE_SEARCH_LIMIT
+        # distinct values, and one failed search proves the whole orbit
+        # aperiodic (the flag short-circuits all further searches).
+        self._stride_cache: dict[float, tuple[int, int]] = {}
+        self._stride_search_failed = False
 
     def tick(self) -> bool:
         """Advance one fast cycle; return True if the slow domain also
@@ -69,6 +76,75 @@ class DualDomainClock:
             self._accum -= 1.0
             self.slow_cycle += 1
             return True
+        return False
+
+    # -- fast-forward ------------------------------------------------------
+    _STRIDE_SEARCH_LIMIT = 64
+
+    def _periodic_stride(self) -> tuple[int, int] | None:
+        """A ``(fast_ticks, slow_ticks)`` stride after which the edge
+        accumulator provably returns to exactly its current value.
+
+        The search simulates up to ``_STRIDE_SEARCH_LIMIT`` ticks with
+        the same floating-point operations ``tick`` performs; if the
+        accumulator revisits its start value, every multiple of the
+        stride reproduces the tick-by-tick state bit for bit, so whole
+        strides can be jumped arithmetically.  Irrational-looking
+        ratios that never revisit the value within the limit simply
+        fall back to per-tick advancing.
+        """
+        if self._stride_search_failed:
+            return None
+        accum = self._accum
+        cached = self._stride_cache.get(accum)
+        if cached is not None:
+            return cached
+        a = accum
+        slow_ticks = 0
+        for fast_ticks in range(1, self._STRIDE_SEARCH_LIMIT + 1):
+            a += self._ratio
+            if a >= 1.0:
+                a -= 1.0
+                slow_ticks += 1
+            if a == accum and slow_ticks > 0:
+                stride = (fast_ticks, slow_ticks)
+                self._stride_cache[accum] = stride
+                return stride
+        # No short cycle from here: treat the clock as aperiodic and
+        # fall back to per-tick advancing for good — searching again
+        # from every future accumulator value would cost more than it
+        # could save and grow the cache without bound.
+        self._stride_search_failed = True
+        return None
+
+    def advance_to(self, stop_fast: int, stop_slow: int | None = None) -> bool:
+        """Advance as if :meth:`tick` were called repeatedly, stopping
+        as soon as ``fast_cycle`` reaches ``stop_fast`` or a tick lands
+        a slow edge with ``slow_cycle == stop_slow`` (whichever comes
+        first).  Returns True when stopped on that slow edge.
+
+        The state after ``advance_to`` is bit-identical to the
+        equivalent ``tick()`` sequence: whole periodic strides are
+        jumped only when the accumulator provably repeats, and the
+        remainder is ticked out one cycle at a time.
+        """
+        while self.fast_cycle < stop_fast:
+            stride = self._periodic_stride()
+            if stride is not None:
+                fast_ticks, slow_ticks = stride
+                periods = (stop_fast - self.fast_cycle) // fast_ticks
+                if stop_slow is not None and stop_slow > self.slow_cycle:
+                    # Never jump over (or onto) the stop edge.
+                    periods = min(
+                        periods,
+                        (stop_slow - 1 - self.slow_cycle) // slow_ticks)
+                if periods > 0:
+                    self.fast_cycle += periods * fast_ticks
+                    self.slow_cycle += periods * slow_ticks
+                    continue
+            edge = self.tick()
+            if edge and self.slow_cycle == stop_slow:
+                return True
         return False
 
     @property

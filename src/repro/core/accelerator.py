@@ -74,6 +74,12 @@ class HardwareAccelerator(Instrumented):
         with an empty queue has nothing to do this cycle."""
         return self.queue.empty
 
+    def next_event_cycle(self, now: int) -> int | None:
+        """Wakeable protocol (:mod:`repro.sched`): an HA drains its
+        queue every cycle while work is buffered and sleeps otherwise
+        (the queue's push hook wakes it when a packet lands)."""
+        return None if self.queue.empty else now + 1
+
     def reset(self) -> None:
         """Power-on state (session reset); subclasses reset their
         checking state via :meth:`_reset_state`."""

@@ -67,6 +67,22 @@ class CdcFifo(Instrumented):
         if self.full:
             self.stat_full_cycles += 1
 
+    def next_event_cycle(self, now: int) -> int | None:
+        """Wakeable protocol (:mod:`repro.sched`): the next low cycle
+        the fabric must look at this FIFO.
+
+        Empty means nothing scheduled (the mapper posts a wake on
+        push).  A full FIFO needs every cycle (occupancy statistics
+        accrue while full); otherwise the head's synchroniser expiry is
+        the next interesting cycle.
+        """
+        if not self._entries:
+            return None
+        if self.full:
+            return now + 1
+        visible_at = self._entries[0][2]
+        return visible_at if visible_at > now else now + 1
+
     def reset(self) -> None:
         """Drop queued entries and counters (session reset)."""
         self._entries.clear()

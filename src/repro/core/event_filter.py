@@ -49,6 +49,7 @@ class EventFilter(Instrumented):
         self._seq = 0            # commit-order sequence stamped on packets
         self._arbiter_next = 0   # next sequence number to emit
         self._lane_rr = 0
+        self._pending = 0        # packets buffered across all FIFOs
         self.stat_full_cycles = 0      # cycles some lane FIFO was full
         self.stat_valid_packets = 0
         self.stat_invalid_packets = 0
@@ -73,6 +74,7 @@ class EventFilter(Instrumented):
         self._seq = 0
         self._arbiter_next = 0
         self._lane_rr = 0
+        self._pending = 0
         self.reset_stats()
 
     # -- commit side (high domain) ---------------------------------------
@@ -96,6 +98,7 @@ class EventFilter(Instrumented):
                 record, entry, self._seq, cycle, commit_ns))
             self.stat_valid_packets += 1
         self._seq += 1
+        self._pending += 1
         return True
 
     @property
@@ -118,6 +121,7 @@ class EventFilter(Instrumented):
                 return None
             packet = fifo.popleft()
             self._arbiter_next += 1
+            self._pending -= 1
             if packet.valid:
                 self.stat_emitted += 1
                 return packet
@@ -132,7 +136,9 @@ class EventFilter(Instrumented):
     # -- drain state -------------------------------------------------------
     @property
     def pending(self) -> int:
-        return sum(len(f) for f in self._fifos)
+        """Buffered packets across all lane FIFOs, O(1) — the session
+        reads this every cycle once the core is done."""
+        return self._pending
 
     def fifo_occupancy(self) -> list[int]:
         return [len(f) for f in self._fifos]

@@ -54,6 +54,11 @@ class MulticastChannel(Instrumented):
     def draining(self) -> bool:
         return bool(self._pending)
 
+    @property
+    def pending_count(self) -> int:
+        """In-flight multicasts (drain diagnostics)."""
+        return len(self._pending)
+
     def submit(self, packet: Packet, mask: int) -> bool:
         """Accept a packet for delivery; False when channels are full."""
         if self.busy:

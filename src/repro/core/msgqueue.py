@@ -32,6 +32,10 @@ class MessageQueue(Instrumented):
         self._entries: deque[Packet] = deque()
         self._recent: Packet | None = None
         self._popped: deque[Packet] = deque(maxlen=self.ATTRIBUTION_WINDOW)
+        # Wakeup hook (repro.sched): called after every successful
+        # push so a consumer blocked on this queue can be woken in the
+        # same fabric cycle the packet lands.
+        self.wake_hook = None
         self.stat_pushes = 0
         self.stat_pops = 0
         self.stat_full_cycles = 0
@@ -55,6 +59,8 @@ class MessageQueue(Instrumented):
         self.stat_pushes += 1
         if len(self._entries) > self.stat_peak:
             self.stat_peak = len(self._entries)
+        if self.wake_hook is not None:
+            self.wake_hook()
         return True
 
     # -- ISAX-visible operations (Table I) --------------------------------
@@ -94,9 +100,13 @@ class MessageQueue(Instrumented):
         """Newest-first window of popped packets (alert attribution)."""
         return tuple(reversed(self._popped))
 
-    def note_cycle(self) -> None:
+    def note_cycle(self) -> bool:
+        """Per-cycle statistics sample; returns whether the queue was
+        full (callers use it to keep back-pressure bookkeeping)."""
         if self.full:
             self.stat_full_cycles += 1
+            return True
+        return False
 
     def reset(self) -> None:
         """Drop buffered packets, attribution state and counters."""
@@ -114,6 +124,8 @@ class WordQueue(Instrumented):
             raise ConfigError("word queue depth must be positive")
         self.depth = depth
         self._entries: deque[int] = deque()
+        # Wakeup hook (repro.sched): see MessageQueue.wake_hook.
+        self.wake_hook = None
         self.stat_pushes = 0
         self.stat_pops = 0
 
@@ -133,6 +145,8 @@ class WordQueue(Instrumented):
             return False
         self._entries.append(word)
         self.stat_pushes += 1
+        if self.wake_hook is not None:
+            self.wake_hook()
         return True
 
     def pop(self) -> int:
@@ -170,6 +184,13 @@ class QueueController:
         self.peer_queue = WordQueue(peer_depth)
         self.output_queue: deque[tuple[int, int]] = deque()
         self._output_depth = output_depth
+        # Wakeup hooks (repro.sched): ``drain_hook`` fires when the
+        # fabric drains a word from the output queue, so an engine
+        # blocked on a full `qpush` can be woken the cycle space
+        # appears; ``busy_hook`` fires when a push gives the fabric
+        # outgoing work to drain.
+        self.drain_hook = None
+        self.busy_hook = None
         self.dest_register = 0  # target engine for pushed words
 
     def count(self, selector: int) -> int:
@@ -188,12 +209,17 @@ class QueueController:
         if not self.can_push():
             return False
         self.output_queue.append((self.dest_register, word))
+        if self.busy_hook is not None:
+            self.busy_hook()
         return True
 
     def take_outgoing(self) -> tuple[int, int] | None:
         """Fabric side: drain one (dest, word) pair per cycle."""
         if self.output_queue:
-            return self.output_queue.popleft()
+            item = self.output_queue.popleft()
+            if self.drain_hook is not None:
+                self.drain_hook()
+            return item
         return None
 
     def reset(self) -> None:

@@ -114,6 +114,20 @@ class MeshNoc(Instrumented):
     def idle(self) -> bool:
         return not self._in_flight
 
+    @property
+    def in_flight_count(self) -> int:
+        """Words currently traversing the mesh (drain diagnostics)."""
+        return len(self._in_flight)
+
+    def next_event_cycle(self, now: int) -> int | None:
+        """Wakeable protocol (:mod:`repro.sched`): the earliest
+        in-flight arrival — the per-link next-free bookkeeping already
+        timestamps every word, so the NoC never needs polling."""
+        if not self._in_flight:
+            return None
+        arrival = self._in_flight[0][0]
+        return arrival if arrival > now else now + 1
+
     def reset(self) -> None:
         """Drop in-flight words, link reservations and counters."""
         self._link_free.clear()

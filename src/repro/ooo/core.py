@@ -209,6 +209,15 @@ class MainCore:
     def done(self) -> bool:
         return self._next_dispatch >= len(self._trace) and self.rob.empty
 
+    def quiescent_at(self, cycle: int) -> bool:
+        """True when ``step(cycle)`` would be a provable no-op beyond
+        the cycle counter: the trace is consumed, the ROB is empty, and
+        no fetch-stall window is still charging front-end stall
+        statistics.  The event-driven session fast-forwards only past
+        quiescent cycles, so even per-cycle stall counters stay
+        bit-identical to the dense loop."""
+        return self.done and cycle >= self._fetch_stall_until
+
     def step(self, cycle: int) -> None:
         """Advance one core cycle: commit, then dispatch."""
         self._commit(cycle)

@@ -12,7 +12,9 @@ configuration pays the expensive build (filter SRAM programming,
 kernel assembly, engine construction) once per worker and resets the
 session between traces — the ARTIQ-style "initialise once, run the
 batch" idiom.  Everything here is deterministic, so cached and fresh
-executions are bit-identical.
+executions are bit-identical — including across the session's two
+cycle-loop implementations (event-driven default, dense under
+``REPRO_DENSE_LOOP=1``; see repro.sched and DESIGN.md).
 """
 
 from __future__ import annotations

@@ -1,0 +1,139 @@
+"""Per-clock-domain wakeup scheduling (DESIGN.md: sched layer).
+
+The dense dual-domain loop polled every fabric component every low
+cycle; :class:`EventScheduler` inverts that into timestamped wakeups,
+the way timestamped-event RTIO systems replace per-cycle polling.  A
+component that can predict its next interesting cycle implements the
+:class:`Wakeable` protocol (``next_event_cycle``); transitions caused
+by *other* components (a packet landing in the queue a blocked engine
+is waiting on) post explicit :meth:`EventScheduler.wake` calls instead.
+
+Scheduling state has two tiers, because the common answers to "when
+next?" are *every cycle* and *not until woken*:
+
+* the **running set** holds components whose next event is simply the
+  next cycle (an executing engine, a draining multicast); membership
+  is O(1) and avoids re-posting a wheel event per component per cycle;
+* the **cycle wheel** holds genuinely timed events (a stall expiry, a
+  NoC arrival, a CDC synchroniser) and explicit cross-component wakes.
+
+Two safety properties make the scheduler easy to reason about:
+
+* **Spurious wakeups are harmless.**  Executing a low cycle where
+  nothing turns out to be due is exactly a dense-loop cycle in which
+  every component was idle — it only costs time, never correctness.
+  Components may therefore over-approximate their next event.
+* **Missing wakeups are bugs.**  A component with pending work must
+  always be running, on the wheel, or about to be explicitly woken;
+  the A/B bit-identity tests against the dense loop enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.sched.wheel import CycleWheel
+from repro.utils.stats import Instrumented
+
+
+@runtime_checkable
+class Wakeable(Protocol):
+    """A component the scheduler can put to sleep between events."""
+
+    def next_event_cycle(self, now: int) -> int | None:
+        """The next cycle (strictly after ``now``) at which this
+        component could do work, or None when it has none scheduled —
+        either permanently (a halted engine) or until another
+        component posts an explicit wake (a blocked engine)."""
+        ...
+
+
+class EventScheduler(Instrumented):
+    """Cycle-wheel wakeup scheduler for one clock domain."""
+
+    def __init__(self, domain: str):
+        self.domain = domain
+        self._wheel = CycleWheel()
+        # Insertion-ordered set of components due every cycle.
+        self._running: dict[object, None] = {}
+        self.stat_wakeups_posted = 0
+        self.stat_events_fired = 0
+
+    # -- posting -----------------------------------------------------------
+    def wake(self, cycle: int, wakeable: object) -> None:
+        """Post an explicit wakeup for ``wakeable`` at ``cycle``.
+
+        Cross-component wakes for the cycle *currently executing* take
+        a faster path than the wheel (the session's hook-fed woken
+        list); this entry point is for genuinely timed posts.
+        """
+        self._wheel.post(cycle, wakeable)
+        self.stat_wakeups_posted += 1
+
+    def arm(self, now: int, wakeable: Wakeable) -> None:
+        """Recompute one component's schedule from its own state."""
+        nxt = wakeable.next_event_cycle(now)
+        if nxt is None:
+            self._running.pop(wakeable, None)
+        elif nxt <= now + 1:
+            self._running[wakeable] = None
+        else:
+            self._running.pop(wakeable, None)
+            self._wheel.post(nxt, wakeable)
+            self.stat_wakeups_posted += 1
+
+    def arm_many(self, now: int, wakeables: Iterable[Wakeable]) -> None:
+        """:meth:`arm` each component (inlined for the hot loop)."""
+        running = self._running
+        wheel = self._wheel
+        posted = 0
+        for wakeable in wakeables:
+            nxt = wakeable.next_event_cycle(now)
+            if nxt is None:
+                running.pop(wakeable, None)
+            elif nxt <= now + 1:
+                running[wakeable] = None
+            else:
+                running.pop(wakeable, None)
+                wheel.post(nxt, wakeable)
+                posted += 1
+        self.stat_wakeups_posted += posted
+
+    # -- consuming ---------------------------------------------------------
+    @property
+    def running(self) -> dict[object, None]:
+        """Read-only view of the every-cycle set (membership tests)."""
+        return self._running
+
+    def due_at(self, now: int) -> bool:
+        """Does anything need cycle ``now`` executed?"""
+        if self._running:
+            return True
+        nxt = self._wheel.next_cycle()
+        return nxt is not None and nxt <= now
+
+    def next_due_cycle(self, now: int) -> int | None:
+        """Earliest cycle after ``now`` that must execute, or None
+        when the domain is quiescent (fast-forward target)."""
+        if self._running:
+            return now + 1
+        return self._wheel.next_cycle()
+
+    def pop_due(self, now: int) -> list[object]:
+        """Remove and return the wheel's items due at or before
+        ``now`` (the running set persists and is read separately)."""
+        due = self._wheel.pop_due(now)
+        self.stat_events_fired += len(due)
+        return due
+
+    @property
+    def quiescent(self) -> bool:
+        """True when nothing at all is scheduled — the event-driven
+        equivalent of the dense loop finding every component idle."""
+        return not self._running and self._wheel.next_cycle() is None
+
+    def reset(self) -> None:
+        """Drop all scheduled events and counters (session reset)."""
+        self._wheel.clear()
+        self._running.clear()
+        self.reset_stats()

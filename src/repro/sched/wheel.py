@@ -1,0 +1,89 @@
+"""The cycle wheel: sparse timestamp-indexed event buckets.
+
+A :class:`CycleWheel` holds opaque items posted for absolute cycle
+numbers and hands them back exactly at (or, for items posted into the
+past, at the first poll after) their cycle.  It is the storage behind
+:class:`~repro.sched.scheduler.EventScheduler` and deliberately knows
+nothing about clock domains or components.
+
+The implementation is a sparse wheel: a dict of per-cycle buckets plus
+a lazily-cleaned min-heap of bucket keys, so posting and peeking are
+O(log n) in the number of *distinct* scheduled cycles, independent of
+how far apart those cycles are — the property that lets the simulation
+fast-forward over millions of quiescent cycles without touching them.
+
+Contract (pinned by the property tests in ``tests/test_sched.py``):
+
+* an item posted for cycle ``c`` is never returned by ``pop_due(now)``
+  with ``now < c`` (never early);
+* it is returned by the first ``pop_due(now)`` with ``now >= c``
+  (never late);
+* it is returned exactly once per post, and re-posting the same item
+  for the same cycle is idempotent (never twice).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any
+
+
+class CycleWheel:
+    """Sparse wheel of (cycle → items) buckets with a min-heap index."""
+
+    __slots__ = ("_buckets", "_heap")
+
+    def __init__(self) -> None:
+        # Buckets are insertion-ordered sets (dicts with None values)
+        # so duplicate posts dedup in O(1).
+        self._buckets: dict[int, dict[Any, None]] = {}
+        # Each bucket key is pushed exactly once when its bucket is
+        # created; stale keys (popped buckets) are discarded lazily.
+        self._heap: list[int] = []
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def empty(self) -> bool:
+        return not self._buckets
+
+    def post(self, cycle: int, item: Any) -> None:
+        """Schedule ``item`` for ``cycle``.
+
+        Posting the same item for the same cycle again is a no-op
+        (idempotent wakeups make liberal re-arming safe).
+        """
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = {item: None}
+            heappush(self._heap, cycle)
+        else:
+            bucket[item] = None
+
+    def next_cycle(self) -> int | None:
+        """The earliest cycle holding at least one item, or None."""
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            cycle = heap[0]
+            if cycle in buckets:
+                return cycle
+            heappop(heap)  # stale key from a popped bucket
+        return None
+
+    def pop_due(self, now: int) -> list[Any]:
+        """Remove and return every item scheduled at or before ``now``,
+        in (cycle, insertion) order."""
+        due: list[Any] = []
+        while True:
+            cycle = self.next_cycle()
+            if cycle is None or cycle > now:
+                return due
+            due.extend(self._buckets.pop(cycle))  # dict iterates keys
+            heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every scheduled item."""
+        self._buckets.clear()
+        self._heap.clear()

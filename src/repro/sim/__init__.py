@@ -8,6 +8,11 @@ explicit :meth:`~repro.sim.session.SimulationSession.reset` that
 returns every component to its just-built state, so one system can
 execute many traces with results bit-identical to fresh builds.
 
+The cycle loop itself is event-driven (:mod:`repro.sched`): a
+cycle-wheel scheduler per clock domain replaces per-cycle polling with
+timestamped wakeups, bit-identical to the dense reference loop kept
+behind ``REPRO_DENSE_LOOP=1``.
+
 The parallel sweep runner (:mod:`repro.runner`) keeps one session per
 distinct system configuration per worker process.
 """

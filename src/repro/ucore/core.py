@@ -218,6 +218,25 @@ class MicroCore(Instrumented):
             return not ctrl.can_push()
         return False
 
+    def next_event_cycle(self, now: int) -> int | None:
+        """Wakeable protocol (:mod:`repro.sched`): when ``tick`` next
+        needs to run.
+
+        A halted engine never does; a blocked one sleeps until the
+        queue transition that can unblock it posts an explicit wake
+        (the queue hooks the session wires up); a stalled engine wakes
+        when its multi-cycle instruction completes; a runnable engine
+        must tick every cycle.  Sleeping through a stall skips only the
+        per-cycle stall accounting (``stat_stall_cycles``), never
+        architectural state — the same contract ``can_skip`` gives the
+        dense loop for blocked engines.
+        """
+        if self.halted or self.blocked:
+            return None
+        if self._stall_until > now + 1:
+            return self._stall_until
+        return now + 1
+
     # -- execution ---------------------------------------------------------
     def tick(self, low_cycle: int) -> None:
         """Advance at most one instruction at this low-domain cycle."""

@@ -7,7 +7,11 @@ pulling in numpy for the core library.
 This module also defines :class:`Instrumented`, the uniform counter
 protocol every simulated component implements (DESIGN.md): counters
 live in ``stat_*`` attributes, ``stats()`` exposes them as a dict, and
-``reset_stats()`` zeroes them between runs.
+``reset_stats()`` zeroes them between runs.  The session and the
+per-domain event schedulers (:mod:`repro.sched`) report their
+skip/fast-forward counters (``low_cycles_skipped``,
+``high_cycles_fastforwarded``, ``sched_low_*``/``sched_high_*``)
+through the same protocol — see EXPERIMENTS.md for the inventory.
 """
 
 from __future__ import annotations

@@ -57,3 +57,59 @@ class TestDualDomainClock:
         edges = [i for i in range(20) if clk.tick()]
         gaps = {b - a for a, b in zip(edges, edges[1:])}
         assert gaps == {2}
+
+
+class TestAdvanceTo:
+    """advance_to must be bit-identical to an equivalent tick() loop."""
+
+    RATIOS = [(3.2, 1.6), (1.0, 1.0), (3.0, 2.0), (3.2, 1.3), (5.0, 0.7)]
+
+    @staticmethod
+    def _pair(fast, slow):
+        return (DualDomainClock(ClockDomain("f", fast),
+                                ClockDomain("s", slow)),
+                DualDomainClock(ClockDomain("f", fast),
+                                ClockDomain("s", slow)))
+
+    def _state(self, clk):
+        return (clk.fast_cycle, clk.slow_cycle, clk._accum)
+
+    def test_matches_tick_loop_to_fast_stop(self):
+        for fast, slow in self.RATIOS:
+            jumped, ticked = self._pair(fast, slow)
+            jumped.advance_to(1000)
+            for _ in range(1000):
+                ticked.tick()
+            assert self._state(jumped) == self._state(ticked), (fast, slow)
+
+    def test_stops_on_slow_edge(self):
+        for fast, slow in self.RATIOS:
+            jumped, ticked = self._pair(fast, slow)
+            on_edge = jumped.advance_to(10_000, stop_slow=37)
+            assert on_edge
+            assert jumped.slow_cycle == 37
+            while not (ticked.tick() and ticked.slow_cycle == 37):
+                pass
+            assert self._state(jumped) == self._state(ticked), (fast, slow)
+
+    def test_interleaved_advances_match_pure_ticks(self):
+        jumped, ticked = self._pair(3.2, 1.6)
+        for stop in (7, 8, 63, 64, 65, 1001, 1002, 5000):
+            jumped.advance_to(stop)
+            while ticked.fast_cycle < stop:
+                ticked.tick()
+            assert self._state(jumped) == self._state(ticked), stop
+
+    def test_stop_fast_wins_over_later_edge(self):
+        clk = DualDomainClock(ClockDomain("f", 3.2), ClockDomain("s", 1.6))
+        on_edge = clk.advance_to(9, stop_slow=100)
+        assert not on_edge
+        assert clk.fast_cycle == 9
+
+    def test_stale_stop_slow_ignored(self):
+        clk = DualDomainClock(ClockDomain("f", 3.2), ClockDomain("s", 1.6))
+        clk.advance_to(20)
+        assert clk.slow_cycle == 10
+        on_edge = clk.advance_to(40, stop_slow=5)  # already passed
+        assert not on_edge
+        assert clk.fast_cycle == 40

@@ -110,17 +110,28 @@ class TestIdleSkip:
         assert skipped > 0
         assert result.cycles > 0
 
-    def test_skip_does_not_change_results(self, monkeypatch):
+    def test_dense_skip_does_not_change_results(self, monkeypatch):
+        """The dense reference loop's conservative can_skip() is
+        result-neutral (the event-driven loop's equivalent guarantee is
+        the A/B grid in tests/test_sched.py)."""
         trace = trace_for("x264", length=5000)
-        with_skip = build(("asan",)).run(trace)
+        with_skip = SimulationSession(build(("asan",)),
+                                      dense=True).run(trace)
 
         from repro.core.accelerator import HardwareAccelerator
         from repro.ucore.core import MicroCore
         monkeypatch.setattr(MicroCore, "can_skip", lambda self: False)
         monkeypatch.setattr(HardwareAccelerator, "can_skip",
                             lambda self: False)
-        without_skip = build(("asan",)).run(trace)
+        without_skip = SimulationSession(build(("asan",)),
+                                         dense=True).run(trace)
         assert with_skip == without_skip
+
+    def test_event_loop_matches_dense_loop(self):
+        trace = trace_for("x264", length=5000)
+        event = SimulationSession(build(("asan",)), dense=False).run(trace)
+        dense = SimulationSession(build(("asan",)), dense=True).run(trace)
+        assert event == dense
 
 
 class TestStatsProtocol:
