@@ -1,0 +1,63 @@
+"""Child process for bench_stream.py: one measured cell per process.
+
+Runs one scenario workload through the full pipeline (compose →
+simulate with an asan-monitored system) in the requested mode and
+prints a JSON line with the memory watermarks:
+
+    python _stream_child.py <stream|inmem> <repeats> <trace-file>
+
+Peak RSS is a per-process high-water mark, so each (mode, scale) cell
+runs in its own interpreter — an in-memory 10x run would otherwise
+contaminate the streamed run's watermark.  tracemalloc's traced peak
+rides along as the noise-free Python-allocation view of the same
+claim.
+"""
+
+import json
+import resource
+import sys
+import tracemalloc
+
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.sim import SimulationSession
+from repro.trace.scenario import compose_stream, compose_trace, \
+    make_scenario
+from repro.trace.stream import StreamedTrace
+
+SCENARIO = "quiescent-idle"
+
+
+def main() -> None:
+    mode, repeats, trace_path = (sys.argv[1], int(sys.argv[2]),
+                                 sys.argv[3])
+    scenario = make_scenario(SCENARIO).repeated(repeats)
+
+    session = SimulationSession(FireGuardSystem(
+        [make_kernel("asan")], engines_per_kernel={"asan": 2}))
+
+    tracemalloc.start()
+    if mode == "stream":
+        trace, _ = compose_stream(scenario, seed=11, path=trace_path)
+        digest = trace.digest
+    else:
+        trace, _ = compose_trace(scenario, seed=11)
+        digest = ""
+    result = session.run(trace)
+    traced_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    print(json.dumps({
+        "mode": mode,
+        "repeats": repeats,
+        "records": len(trace),
+        "cycles": result.cycles,
+        "detections": len(result.detections),
+        "digest": digest,
+        "traced_peak_bytes": traced_peak,
+        "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }))
+
+
+if __name__ == "__main__":
+    main()

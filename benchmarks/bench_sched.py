@@ -13,6 +13,7 @@ as an end-to-end A/B check on real workloads.
 
 import json
 import os
+import resource
 import time
 from pathlib import Path
 
@@ -130,7 +131,12 @@ def test_event_scheduler_speedup_at_12_ucores(benchmark):
 
     rows = [row, _measure(engines=4)]
     out = _out_path()
-    out.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    # Peak RSS rides along so the bounded-memory trajectory (see
+    # bench_stream.py) is tracked across every BENCH_* artifact.
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    out.write_text(json.dumps({"rows": rows,
+                               "peak_rss_kb": peak_rss_kb},
+                              indent=2) + "\n")
 
     assert row["low_cycles_skipped"] > 0
     # Wall-clock improvement at 12 µcores over the dense idle-skip

@@ -1,0 +1,77 @@
+"""Bounded-memory streaming benchmark (BENCH_stream.json).
+
+The streaming pipeline's contract: a trace 10x longer than the
+default runs with peak memory bounded by the chunk/phase size, not
+linear in trace length, and bit-identical to the in-memory path.
+Each (mode, scale) cell runs in its own child interpreter
+(``_stream_child.py``) because peak RSS is a per-process high-water
+mark; tracemalloc's traced peak is the noise-free Python-allocation
+view of the same claim and carries the assertions, while RSS is
+recorded for the artifact trajectory.
+
+Results go to ``BENCH_stream.json`` (repo root or
+``REPRO_BENCH_OUT_STREAM``), uploaded by the CI bench-smoke job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_CHILD = Path(__file__).resolve().parent / "_stream_child.py"
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+SCALE = 10
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT_STREAM")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+
+def _measure(mode: str, repeats: int, tmp_path: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, str(_CHILD), mode, str(repeats),
+         str(tmp_path / f"{mode}-{repeats}.fgt")],
+        check=True, capture_output=True, text=True, env=env)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_streamed_memory_bounded(tmp_path, benchmark):
+    cells = {(mode, repeats): _measure(mode, repeats, tmp_path)
+             for mode in ("stream", "inmem")
+             for repeats in (1, SCALE)}
+
+    # Give pytest-benchmark one representative run for its table.
+    assert benchmark.pedantic(
+        _measure, args=("stream", 1, tmp_path), rounds=1,
+        iterations=1)["cycles"] > 0
+
+    _out_path().write_text(json.dumps(
+        {"rows": list(cells.values())}, indent=2) + "\n")
+
+    # Bit-identity between the pipelines, at both scales.
+    for repeats in (1, SCALE):
+        streamed, inmem = cells[("stream", repeats)], \
+            cells[("inmem", repeats)]
+        assert streamed["records"] == inmem["records"]
+        assert streamed["cycles"] == inmem["cycles"], (streamed, inmem)
+
+    # The bounded-memory claim: 10x the records must not cost 10x the
+    # peak.  The streamed peak may grow a little (heap ground-truth
+    # table, simulator sparse memories) but stays far from linear...
+    s1 = cells[("stream", 1)]["traced_peak_bytes"]
+    s10 = cells[("stream", SCALE)]["traced_peak_bytes"]
+    assert s10 < 2.5 * s1, (
+        f"streamed peak grew {s10 / s1:.2f}x for {SCALE}x records")
+
+    # ...while the in-memory pipeline pays for every record at once.
+    m10 = cells[("inmem", SCALE)]["traced_peak_bytes"]
+    assert s10 * 2 < m10, (
+        f"streamed peak {s10} not clearly below in-memory peak {m10}")

@@ -1,0 +1,67 @@
+"""Streamed multi-phase scenarios, end to end.
+
+Builds a custom boot/serve/burst scenario, composes it straight to an
+on-disk FGTRACE1 file (peak memory bounded by the largest phase),
+then monitors it with two guardian kernels through the same streamed
+reader — and shows the library-scenario shorthand the runner offers.
+
+Run:  PYTHONPATH=src python examples/scenario_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.runner import RunSpec, SweepRunner
+from repro.trace.attacks import AttackKind, AttackPlan
+from repro.trace.scenario import Phase, Scenario, compose_stream
+from repro.trace.stream import TraceReader
+
+
+def main() -> None:
+    scenario = Scenario(name="boot-serve-burst", phases=(
+        Phase("dedup", 2500, label="boot"),
+        Phase("swaptions", 3500, label="serve"),
+        Phase("x264", 2000, label="burst", attacks=(
+            AttackPlan(AttackKind.RET_HIJACK, 8),
+            AttackPlan(AttackKind.OOB_ACCESS, 8),
+        )),
+    ))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "scenario.fgt"
+        trace, sites = compose_stream(scenario, seed=3, path=path)
+        print(f"composed {len(trace)} records -> {path.name}")
+        print(f"  digest  {trace.digest[:16]}...")
+        print(f"  attacks {len(sites)} "
+              f"({', '.join(sorted({s.kind.name for s in sites}))})")
+
+        # The file is plain FGTRACE1: any reader can chunk through it.
+        chunks = sum(1 for _ in TraceReader(path, chunk_records=2048))
+        print(f"  {chunks} chunks of <=2048 records\n")
+
+        # The runner drives the same pipeline declaratively: scenario
+        # specs compose to the worker's content-addressed spool and
+        # simulate through the bounded-memory reader (stream=True).
+        runner = SweepRunner()
+        for kernel in ("shadow_stack", "asan"):
+            record = runner.run_one(RunSpec(
+                benchmark=scenario.name, kernels=(kernel,),
+                engines_per_kernel=2, scenario=scenario, stream=True,
+                length=scenario.total_length()))
+            result = record.result
+            print(f"{kernel:>12}: slowdown {record.slowdown:.3f}  "
+                  f"detections {len(result.detections)}/"
+                  f"{record.injected_attacks}  "
+                  f"digest {record.trace_digest[:12]}")
+
+    # Library scenarios register like kernels do; a name is enough.
+    record = SweepRunner().run_one(RunSpec(
+        benchmark="boot-then-serve", kernels=("shadow_stack",),
+        engines_per_kernel=2, scenario="boot-then-serve", stream=True))
+    print(f"\nlibrary 'boot-then-serve': slowdown "
+          f"{record.slowdown:.3f}, detections "
+          f"{len(record.result.detections)}/{record.injected_attacks}")
+
+
+if __name__ == "__main__":
+    main()

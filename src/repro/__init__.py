@@ -42,6 +42,15 @@ from repro.runner import RunRecord, RunSpec, SweepRunner, sweep
 from repro.sim import SimulationSession
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_BENCHMARKS, PARSEC_PROFILES
+from repro.trace.scenario import (
+    SCENARIOS,
+    Phase,
+    Scenario,
+    compose_stream,
+    compose_trace,
+    make_scenario,
+)
+from repro.trace.stream import StreamedTrace, stream_trace
 
 __all__ = [
     "FireGuardConfig",
@@ -49,14 +58,22 @@ __all__ = [
     "KERNELS",
     "PARSEC_BENCHMARKS",
     "PARSEC_PROFILES",
+    "Phase",
     "RunRecord",
     "RunSpec",
+    "SCENARIOS",
+    "Scenario",
     "SimulationSession",
+    "StreamedTrace",
     "SweepRunner",
     "SystemResult",
     "__version__",
+    "compose_stream",
+    "compose_trace",
     "generate_trace",
     "make_kernel",
+    "make_scenario",
     "run_baseline",
+    "stream_trace",
     "sweep",
 ]

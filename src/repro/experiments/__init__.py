@@ -16,6 +16,7 @@ from repro.experiments.common import (
     cached_trace,
     run_monitored,
     trace_length,
+    workload_rows,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "cached_trace",
     "run_monitored",
     "trace_length",
+    "workload_rows",
 ]

@@ -1,6 +1,7 @@
 """Experiment CLI: ``python -m repro.experiments <id> [...]``.
 
-IDs: fig7a fig7b fig8 fig9 fig10 fig11 table2 table3 ablations all
+IDs: fig7a fig7b fig8 fig9 fig10 fig11 table2 table3 ablations
+scenarios all
 """
 
 from __future__ import annotations
@@ -8,7 +9,7 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import ablations, fig7a, fig7b, fig8, fig9
-from repro.experiments import fig10, fig11, table2, table3
+from repro.experiments import fig10, fig11, scenarios, table2, table3
 
 _EXPERIMENTS = {
     "fig7a": fig7a.main,
@@ -20,6 +21,7 @@ _EXPERIMENTS = {
     "table2": table2.main,
     "table3": table3.main,
     "ablations": ablations.main,
+    "scenarios": scenarios.main,
 }
 
 

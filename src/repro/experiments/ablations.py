@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxStyle
+from repro.experiments.common import workload_rows
 from repro.runner import RunSpec, default_runner
 from repro.utils.stats import geomean
 
@@ -40,77 +41,91 @@ class AblationRow:
 def _geomean_slowdown(kernel_name: str, config: FireGuardConfig,
                       benchmarks: tuple[str, ...],
                       isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
-                      block_size: int | None = None) -> float:
-    specs = [RunSpec(benchmark=bench, kernels=(kernel_name,),
+                      block_size: int | None = None,
+                      scenario=None, stream: bool = False) -> float:
+    specs = [RunSpec(benchmark=label, kernels=(kernel_name,),
                      engines_per_kernel=config.num_engines,
                      config=config, isax_style=isax_style,
-                     block_size=block_size)
-             for bench in benchmarks]
+                     block_size=block_size, scenario=scen,
+                     stream=stream)
+             for label, scen in workload_rows(benchmarks, scenario)]
     records = default_runner().run(specs)
     return geomean([record.slowdown for record in records])
 
 
-def isax_ablation(benchmarks=DEFAULT_BENCHMARKS) -> list[AblationRow]:
+def isax_ablation(benchmarks=DEFAULT_BENCHMARKS, scenario=None,
+                  stream=False) -> list[AblationRow]:
     """MA-stage vs post-commit ISAX on the heaviest kernel."""
     rows = []
     for style in (IsaxStyle.MA_STAGE, IsaxStyle.POST_COMMIT):
         gm = _geomean_slowdown("asan", FireGuardConfig(),
-                               benchmarks, isax_style=style)
+                               benchmarks, isax_style=style,
+                               scenario=scenario, stream=stream)
         rows.append(AblationRow("isax_coupling", style.value, gm))
     return rows
 
 
 def mapper_width_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                          scenario=None, stream=False,
                           ) -> list[AblationRow]:
     """Scalar vs superscalar mapper on a 4-wide core."""
     rows = []
     for width in (1, 2, 4):
         gm = _geomean_slowdown(
-            "asan", FireGuardConfig(mapper_width=width), benchmarks)
+            "asan", FireGuardConfig(mapper_width=width), benchmarks,
+            scenario=scenario, stream=stream)
         rows.append(AblationRow("mapper_width", str(width), gm))
     return rows
 
 
 def fifo_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        scenario=None, stream=False,
                         ) -> list[AblationRow]:
     """Event-filter FIFO sizing around Table II's 16 entries."""
     rows = []
     for depth in (4, 16, 64):
         gm = _geomean_slowdown(
-            "asan", FireGuardConfig(fifo_depth=depth), benchmarks)
+            "asan", FireGuardConfig(fifo_depth=depth), benchmarks,
+            scenario=scenario, stream=stream)
         rows.append(AblationRow("filter_fifo_depth", str(depth), gm))
     return rows
 
 
 def cdc_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                       scenario=None, stream=False,
                        ) -> list[AblationRow]:
     """CDC sizing around Table II's 8 entries."""
     rows = []
     for depth in (2, 8, 32):
         gm = _geomean_slowdown(
-            "asan", FireGuardConfig(cdc_depth=depth), benchmarks)
+            "asan", FireGuardConfig(cdc_depth=depth), benchmarks,
+            scenario=scenario, stream=stream)
         rows.append(AblationRow("cdc_depth", str(depth), gm))
     return rows
 
 
 def msgq_depth_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        scenario=None, stream=False,
                         ) -> list[AblationRow]:
     """Message-queue sizing around Table II's 32 entries."""
     rows = []
     for depth in (8, 32, 128):
         gm = _geomean_slowdown(
-            "asan", FireGuardConfig(msgq_depth=depth), benchmarks)
+            "asan", FireGuardConfig(msgq_depth=depth), benchmarks,
+            scenario=scenario, stream=stream)
         rows.append(AblationRow("msgq_depth", str(depth), gm))
     return rows
 
 
 def block_size_ablation(benchmarks=DEFAULT_BENCHMARKS,
+                        scenario=None, stream=False,
                         ) -> list[AblationRow]:
     """Shadow-stack block size: locality vs hand-off frequency."""
     rows = []
     for size in (4, 16, 64):
         gm = _geomean_slowdown("shadow_stack", FireGuardConfig(),
-                               benchmarks, block_size=size)
+                               benchmarks, block_size=size,
+                               scenario=scenario, stream=stream)
         rows.append(AblationRow("ss_block_size", str(size), gm))
     return rows
 
@@ -125,10 +140,11 @@ ABLATIONS = {
 }
 
 
-def run(benchmarks=DEFAULT_BENCHMARKS) -> list[AblationRow]:
+def run(benchmarks=DEFAULT_BENCHMARKS, scenario=None,
+        stream=False) -> list[AblationRow]:
     rows: list[AblationRow] = []
     for fn in ABLATIONS.values():
-        rows.extend(fn(benchmarks))
+        rows.extend(fn(benchmarks, scenario=scenario, stream=stream))
     return rows
 
 

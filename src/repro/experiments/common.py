@@ -28,6 +28,7 @@ from repro.runner import (
 )
 from repro.runner import worker as _worker
 from repro.trace.record import Trace
+from repro.trace.scenario import Scenario
 
 __all__ = [
     "DEFAULT_SEED",
@@ -38,7 +39,24 @@ __all__ = [
     "run_cells",
     "run_monitored",
     "trace_length",
+    "workload_rows",
 ]
+
+
+def workload_rows(benchmarks: Sequence[str],
+                  scenario: "Scenario | str | None" = None,
+                  ) -> list[tuple[str, "Scenario | str | None"]]:
+    """The workload axis of a harness: ``(row label, scenario)`` pairs.
+
+    Without a scenario this is the per-benchmark sweep every figure
+    runs; with one, the scenario replaces the benchmark axis (one row,
+    labelled by the scenario's name) so any harness can regenerate its
+    figure over a multi-phase workload.
+    """
+    if scenario is None:
+        return [(bench, None) for bench in benchmarks]
+    name = scenario if isinstance(scenario, str) else scenario.name
+    return [(name, scenario)]
 
 
 def cached_trace(benchmark: str, seed: int = DEFAULT_SEED,
@@ -64,7 +82,9 @@ def make_spec(benchmark: str, kernel_names: tuple[str, ...],
               strategy: KernelStrategy = KernelStrategy.HYBRID,
               isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
               seed: int = DEFAULT_SEED,
-              length: int | None = None) -> RunSpec:
+              length: int | None = None,
+              scenario: "Scenario | str | None" = None,
+              stream: bool = False) -> RunSpec:
     """A spec with the historical ``run_monitored`` defaults."""
     from repro.core.config import FireGuardConfig
 
@@ -74,7 +94,8 @@ def make_spec(benchmark: str, kernel_names: tuple[str, ...],
                    strategy=strategy, isax_style=isax_style,
                    config=FireGuardConfig(filter_width=filter_width,
                                           num_engines=engines_per_kernel),
-                   seed=seed, length=length)
+                   seed=seed, length=length, scenario=scenario,
+                   stream=stream)
 
 
 def run_cells(cells: Sequence[tuple[Any, RunSpec]],
@@ -96,11 +117,13 @@ def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
                   strategy: KernelStrategy = KernelStrategy.HYBRID,
                   isax_style: IsaxStyle = IsaxStyle.MA_STAGE,
                   seed: int = DEFAULT_SEED,
-                  length: int | None = None) -> tuple[SystemResult, int]:
+                  length: int | None = None,
+                  scenario: "Scenario | str | None" = None,
+                  stream: bool = False) -> tuple[SystemResult, int]:
     """Run one FireGuard configuration; returns (result, baseline)."""
     record = default_runner().run_one(make_spec(
         benchmark, kernel_names, engines_per_kernel=engines_per_kernel,
         accelerated=accelerated, filter_width=filter_width,
         strategy=strategy, isax_style=isax_style, seed=seed,
-        length=length))
+        length=length, scenario=scenario, stream=stream))
     return record.result, record.baseline_cycles

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import make_spec, run_cells
+from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario
 
 SWEEPS: dict[str, tuple[int, ...]] = {
     "pmc": (2, 4, 6),
@@ -26,15 +27,19 @@ SWEEPS: dict[str, tuple[int, ...]] = {
 def run(kernel_name: str,
         benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         counts: tuple[int, ...] | None = None,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> SlowdownTable:
     counts = counts or SWEEPS[kernel_name]
-    cells = [((bench, count),
-              make_spec(bench, (kernel_name,),
-                        engines_per_kernel=count))
-             for bench in benchmarks for count in counts]
-    table = SlowdownTable(list(benchmarks))
-    for (bench, count), record in run_cells(cells, runner):
-        table.record(bench, f"{count}uc", record.slowdown)
+    rows = workload_rows(benchmarks, scenario)
+    cells = [((label, count),
+              make_spec(label, (kernel_name,),
+                        engines_per_kernel=count, scenario=scen,
+                        stream=stream))
+             for label, scen in rows for count in counts]
+    table = SlowdownTable([label for label, _ in rows])
+    for (label, count), record in run_cells(cells, runner):
+        table.record(label, f"{count}uc", record.slowdown)
     return table
 
 

@@ -11,22 +11,27 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import make_spec, run_cells
+from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.kernels.base import KernelStrategy
 from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         num_engines: int = 4,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> SlowdownTable:
-    cells = [((bench, strategy),
-              make_spec(bench, ("pmc",), engines_per_kernel=num_engines,
-                        strategy=strategy))
-             for bench in benchmarks for strategy in KernelStrategy]
-    table = SlowdownTable(list(benchmarks))
-    for (bench, strategy), record in run_cells(cells, runner):
-        table.record(bench, strategy.value, record.slowdown)
+    rows = workload_rows(benchmarks, scenario)
+    cells = [((label, strategy),
+              make_spec(label, ("pmc",), engines_per_kernel=num_engines,
+                        strategy=strategy, scenario=scen,
+                        stream=stream))
+             for label, scen in rows for strategy in KernelStrategy]
+    table = SlowdownTable([label for label, _ in rows])
+    for (label, strategy), record in run_cells(cells, runner):
+        table.record(label, strategy.value, record.slowdown)
     return table
 
 

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import make_spec, run_cells
+from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.runner import RunSpec, SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario
 
 FIREGUARD_COLUMNS = (
     ("pmc_fg_4uc", ("pmc",), frozenset()),
@@ -33,19 +34,25 @@ SOFTWARE_COLUMNS = (
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> SlowdownTable:
+    rows = workload_rows(benchmarks, scenario)
     cells = []
-    for bench in benchmarks:
+    for label, scen in rows:
         for column, kernel_names, accelerated in FIREGUARD_COLUMNS:
-            cells.append(((bench, column),
-                          make_spec(bench, kernel_names,
-                                    accelerated=accelerated)))
+            cells.append(((label, column),
+                          make_spec(label, kernel_names,
+                                    accelerated=accelerated,
+                                    scenario=scen, stream=stream)))
         for column, scheme in SOFTWARE_COLUMNS:
-            cells.append(((bench, column),
-                          RunSpec(benchmark=bench, software=scheme)))
-    table = SlowdownTable(list(benchmarks))
-    for (bench, column), record in run_cells(cells, runner):
-        table.record(bench, column, record.slowdown)
+            # Software schemes instrument in memory: never streamed.
+            cells.append(((label, column),
+                          RunSpec(benchmark=label, software=scheme,
+                                  scenario=scen)))
+    table = SlowdownTable([label for label, _ in rows])
+    for (label, column), record in run_cells(cells, runner):
+        table.record(label, column, record.slowdown)
     return table
 
 

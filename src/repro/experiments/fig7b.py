@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
-from repro.experiments.common import make_spec, run_cells
+from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario
 
 COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
     ("ss+pmc", ("shadow_stack", "pmc"), frozenset()),
@@ -28,14 +29,18 @@ COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
 
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> SlowdownTable:
-    cells = [((bench, column),
-              make_spec(bench, kernels, accelerated=accelerated))
-             for bench in benchmarks
+    rows = workload_rows(benchmarks, scenario)
+    cells = [((label, column),
+              make_spec(label, kernels, accelerated=accelerated,
+                        scenario=scen, stream=stream))
+             for label, scen in rows
              for column, kernels, accelerated in COMBINATIONS]
-    table = SlowdownTable(list(benchmarks))
-    for (bench, column), record in run_cells(cells, runner):
-        table.record(bench, column, record.slowdown)
+    table = SlowdownTable([label for label, _ in rows])
+    for (label, column), record in run_cells(cells, runner):
+        table.record(label, column, record.slowdown)
     return table
 
 

@@ -24,6 +24,7 @@ from repro.runner import (
 )
 from repro.trace.attacks import AttackKind
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario, make_scenario
 from repro.utils.stats import LatencySummary, summarize_latencies
 
 KERNEL_ATTACKS = (
@@ -54,15 +55,28 @@ class LatencyRow:
 
 def attack_spec(benchmark: str, kernel_name: str, kind: AttackKind,
                 attacks: int = 50, seed: int = 23,
-                length: int = 12000) -> RunSpec:
+                length: int = 12000,
+                scenario: "Scenario | str | None" = None,
+                stream: bool = False) -> RunSpec:
     """A latency-measurement spec: attacked trace, 4 µcores, no
-    baseline run (only detections matter)."""
+    baseline run (only detections matter).
+
+    With a ``scenario`` the kernel's attack kind is pointed at the
+    scenario's longest phase (``Scenario.with_attacks``) instead of
+    riding in ``RunSpec.attacks``.
+    """
+    plan = AttackPlan(kind=kind, count=attacks,
+                      pmc_bounds=(DEFAULT_BOUND_LO, DEFAULT_BOUND_HI))
+    if scenario is not None:
+        if isinstance(scenario, str):
+            scenario = make_scenario(scenario)
+        return RunSpec(
+            benchmark=benchmark, kernels=(kernel_name,), seed=seed,
+            length=length, need_baseline=False,
+            scenario=scenario.with_attacks(plan), stream=stream)
     return RunSpec(
         benchmark=benchmark, kernels=(kernel_name,), seed=seed,
-        length=length, need_baseline=False,
-        attacks=AttackPlan(kind=kind, count=attacks,
-                           pmc_bounds=(DEFAULT_BOUND_LO,
-                                       DEFAULT_BOUND_HI)))
+        length=length, need_baseline=False, attacks=plan)
 
 
 def _latency_row(record: RunRecord) -> LatencyRow:
@@ -84,9 +98,15 @@ def run_one(benchmark: str, kernel_name: str, kind: AttackKind,
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         attacks: int = 50,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> list[LatencyRow]:
     runner = runner or default_runner()
-    specs = [attack_spec(bench, kernel_name, kind, attacks)
+    if scenario is not None:
+        label = scenario if isinstance(scenario, str) else scenario.name
+        benchmarks = (label,)
+    specs = [attack_spec(bench, kernel_name, kind, attacks,
+                         scenario=scenario, stream=stream)
              for bench in benchmarks
              for kernel_name, kind in KERNEL_ATTACKS]
     return [_latency_row(record) for record in runner.run(specs)]

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.analysis.bottleneck import BottleneckReport, bottleneck_report
 from repro.analysis.report import format_table
-from repro.experiments.common import make_spec, run_cells
+from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.runner import SweepRunner
 from repro.trace.profiles import PARSEC_BENCHMARKS
+from repro.trace.scenario import Scenario
 from repro.utils.stats import geomean
 
 FILTER_WIDTHS = (4, 2, 1)
@@ -21,15 +22,19 @@ FILTER_WIDTHS = (4, 2, 1)
 
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         num_engines: int = 4,
+        scenario: "Scenario | str | None" = None,
+        stream: bool = False,
         runner: SweepRunner | None = None) -> list[BottleneckReport]:
-    cells = [((width, bench),
-              make_spec(bench, ("asan",),
+    rows = workload_rows(benchmarks, scenario)
+    cells = [((width, label),
+              make_spec(label, ("asan",),
                         engines_per_kernel=num_engines,
-                        filter_width=width))
-             for width in FILTER_WIDTHS for bench in benchmarks]
-    return [bottleneck_report(bench, width, record.result,
+                        filter_width=width, scenario=scen,
+                        stream=stream))
+             for width in FILTER_WIDTHS for label, scen in rows]
+    return [bottleneck_report(label, width, record.result,
                               record.baseline_cycles, num_engines)
-            for (width, bench), record in run_cells(cells, runner)]
+            for (width, label), record in run_cells(cells, runner)]
 
 
 def width_geomeans(reports: list[BottleneckReport]) -> dict[int, float]:

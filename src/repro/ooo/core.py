@@ -19,6 +19,7 @@ lane — that is exactly the paper's back-pressure mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Protocol
 
 from repro.branch.predictor import FrontEndPredictor
@@ -160,9 +161,15 @@ class MainCore:
     # -- run control ------------------------------------------------------
     DEFAULT_WARMUP = 4000
 
-    def begin(self, trace: Trace, record_commit_times: bool = False,
+    def begin(self, trace: "Trace", record_commit_times: bool = False,
               warmup_records: int | None = None) -> None:
         """Reset run state and start consuming ``trace``.
+
+        ``trace`` is any trace source implementing the record protocol
+        (``len()``, ``iter_records()``, ``record_view()``, region
+        metadata) — an in-memory :class:`Trace` or an on-disk
+        :class:`~repro.trace.stream.StreamedTrace`, which serves both
+        passes below from bounded-memory chunks.
 
         A warm-up pass first touches the caches, TLBs and branch
         predictor with a prefix of the trace (functional only, no
@@ -171,10 +178,9 @@ class MainCore:
         identically, so slowdown ratios are unaffected.
         """
         if warmup_records is None:
-            warmup_records = min(self.DEFAULT_WARMUP,
-                                 len(trace.records) // 2)
+            warmup_records = min(self.DEFAULT_WARMUP, len(trace) // 2)
         self._warm_up(trace, warmup_records)
-        self._trace = trace.records
+        self._trace = trace.record_view()
         self._next_dispatch = 0
         self._reg_ready = {}
         self._fetch_stall_until = 0
@@ -184,9 +190,9 @@ class MainCore:
         self.result = CoreResult(cycles=0, committed=0)
         self._record_commit_times = record_commit_times
 
-    def _warm_up(self, trace: Trace, count: int) -> None:
+    def _warm_up(self, trace: "Trace", count: int) -> None:
         last_line = -1
-        for record in trace.records[:count]:
+        for record in islice(trace.iter_records(), count):
             line = record.pc >> self._LINE_SHIFT
             if line != last_line:
                 self.hierarchy.access_instr(record.pc, 0)

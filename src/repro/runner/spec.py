@@ -21,7 +21,10 @@ from repro.core.isax import IsaxStyle
 from repro.core.system import SystemResult
 from repro.errors import ConfigError
 from repro.kernels.base import KernelStrategy
-from repro.trace.attacks import AttackKind
+from repro.trace.attacks import AttackPlan
+from repro.trace.scenario import Scenario
+
+__all__ = ["AttackPlan", "RunRecord", "RunSpec", "sweep", "trace_length"]
 
 DEFAULT_TRACE_LEN = 8000
 DEFAULT_SEED = 7
@@ -33,19 +36,6 @@ def trace_length() -> int:
 
 
 @dataclass(frozen=True)
-class AttackPlan:
-    """Attack injection for a spec (Fig 8 latency experiments)."""
-
-    kind: AttackKind
-    count: int
-    pmc_bounds: tuple[int, int] | None = None
-
-    def __post_init__(self) -> None:
-        if self.count <= 0:
-            raise ConfigError("attack count must be positive")
-
-
-@dataclass(frozen=True)
 class RunSpec:
     """One simulation to run: workload × kernel set × configuration.
 
@@ -53,6 +43,21 @@ class RunSpec:
     LLVM-instrumentation baseline scheme (the trace is instrumented
     and run on an unmonitored core instead of building a FireGuard
     system).
+
+    ``scenario`` replaces the single-profile workload with a
+    multi-phase :class:`~repro.trace.scenario.Scenario` (an instance,
+    or a library name resolved in the worker); ``benchmark`` then only
+    labels the row, and phase lengths are rescaled so the composed
+    trace totals ``resolved_length()`` records.  Scenario phases carry
+    their own attack mixes, so ``attacks`` must stay unset.
+
+    ``stream`` runs the workload through the on-disk FGTRACE1
+    pipeline: the trace is spooled (composed phase by phase for
+    scenarios, streamed straight from the generator otherwise), cached
+    content-addressed by its digest, and the simulation consumes a
+    bounded-memory reader.  Results are bit-identical to ``stream =
+    False``; the differential tests in
+    ``tests/test_stream_identity.py`` hold that line.
     """
 
     benchmark: str
@@ -68,6 +73,8 @@ class RunSpec:
     attacks: AttackPlan | None = None
     software: str | None = None
     need_baseline: bool = True
+    scenario: Scenario | str | None = None
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if not self.kernels and self.software is None:
@@ -76,6 +83,14 @@ class RunSpec:
         if self.kernels and self.software is not None:
             raise ConfigError(
                 "RunSpec cannot mix kernels with a software scheme")
+        if self.scenario is not None and self.attacks is not None:
+            raise ConfigError(
+                "scenario phases carry their own attack plans; "
+                "leave RunSpec.attacks unset")
+        if self.stream and self.software is not None:
+            raise ConfigError(
+                "software baseline schemes instrument in memory and "
+                "cannot run streamed; use stream=False")
         if self.engines_per_kernel <= 0:
             raise ConfigError("engines_per_kernel must be positive")
         # Normalise collection types so equal specs hash equally.
@@ -101,6 +116,15 @@ class RunSpec:
                 tuple(sorted(self.accelerated)), self.strategy.value,
                 self.isax_style.value, self.config, self.block_size)
 
+    def scenario_token(self) -> tuple | None:
+        """A stable identity for the spec's scenario (name reference
+        or inline definition), or None."""
+        if self.scenario is None:
+            return None
+        if isinstance(self.scenario, str):
+            return ("name", self.scenario)
+        return ("inline",) + self.scenario.cache_token()
+
     def _canonical(self) -> tuple:
         attacks = None
         if self.attacks is not None:
@@ -108,7 +132,7 @@ class RunSpec:
                        self.attacks.pmc_bounds)
         return (self.benchmark, self.system_key(), self.seed,
                 self.resolved_length(), attacks, self.software,
-                self.need_baseline)
+                self.need_baseline, self.scenario_token(), self.stream)
 
     def cache_key(self) -> str:
         """Deterministic digest of the spec (stable across processes
@@ -123,12 +147,18 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Structured outcome of one executed spec."""
+    """Structured outcome of one executed spec.
+
+    ``trace_digest`` is the sha256 of the on-disk FGTRACE1 file for
+    streamed specs ("" otherwise): the determinism tests compare it
+    across generator runs and worker processes.
+    """
 
     spec: RunSpec
     result: SystemResult
     baseline_cycles: int = 0
     injected_attacks: int = 0
+    trace_digest: str = ""
 
     @property
     def slowdown(self) -> float:

@@ -15,9 +15,23 @@ batch" idiom.  Everything here is deterministic, so cached and fresh
 executions are bit-identical — including across the session's two
 cycle-loop implementations (event-driven default, dense under
 ``REPRO_DENSE_LOOP=1``; see repro.sched and DESIGN.md).
+
+Streamed specs (``RunSpec.stream``) spool their workload to disk as
+FGTRACE1 and simulate through a bounded-memory reader.  The spool is
+content-addressed: each file is renamed to its sha256 digest, and the
+trace cache maps spec workload keys to digests — two specs that
+compose identical bytes share one file, and the digest is the
+determinism witness the cross-worker tests compare
+(``RunRecord.trace_digest``).
 """
 
 from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+from pathlib import Path
 
 from repro.baselines import SCHEMES, instrument_trace
 from repro.core.system import FireGuardSystem
@@ -26,14 +40,48 @@ from repro.ooo.core import MainCore
 from repro.runner.spec import RunRecord, RunSpec
 from repro.sim.session import SimulationSession
 from repro.trace.attacks import inject_attacks
-from repro.trace.generator import generate_trace
+from repro.trace.generator import TraceGenerator, generate_trace
 from repro.trace.profiles import PARSEC_PROFILES
 from repro.trace.record import Trace
+from repro.trace.scenario import (
+    Scenario,
+    ScenarioComposer,
+    compose_trace,
+    make_scenario,
+)
+from repro.trace.stream import StreamedTrace, TraceWriter
 
 # Per-process caches (worker lifetime).
 _SESSIONS: dict[tuple, SimulationSession] = {}
 _TRACES: dict[tuple, Trace] = {}
 _BASELINES: dict[tuple, int] = {}
+# Composed scenario traces: never mutated after composition (attacks
+# are injected phase by phase inside the compositor), so one copy is
+# shared process-wide like clean traces are.
+_SCENARIO_TRACES: dict[tuple, tuple[Trace, int]] = {}
+# Streamed workloads: workload key -> (digest, injected attack count).
+# Files live in the spool directory under their digest, so identical
+# workloads reached through different keys share bytes on disk.
+_STREAMED: dict[tuple, tuple[str, int]] = {}
+
+_SPOOL_DIR: Path | None = None
+_SPOOL_SEQ = 0
+
+
+def _spool_dir() -> Path:
+    """The per-process trace spool (``REPRO_TRACE_SPOOL`` or a
+    temporary directory removed at interpreter exit)."""
+    global _SPOOL_DIR
+    if _SPOOL_DIR is None:
+        configured = os.environ.get("REPRO_TRACE_SPOOL")
+        if configured:
+            _SPOOL_DIR = Path(configured)
+            _SPOOL_DIR.mkdir(parents=True, exist_ok=True)
+        else:
+            _SPOOL_DIR = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+            atexit.register(shutil.rmtree, _SPOOL_DIR,
+                            ignore_errors=True)
+    return _SPOOL_DIR
 
 
 def clear_caches() -> None:
@@ -41,6 +89,8 @@ def clear_caches() -> None:
     _SESSIONS.clear()
     _TRACES.clear()
     _BASELINES.clear()
+    _SCENARIO_TRACES.clear()
+    _STREAMED.clear()
 
 
 def cached_trace(benchmark: str, seed: int, length: int) -> Trace:
@@ -55,20 +105,138 @@ def cached_trace(benchmark: str, seed: int, length: int) -> Trace:
     return trace
 
 
-def _trace_for(spec: RunSpec) -> tuple[Trace, int]:
-    """The spec's trace and the number of injected attacks.
+def _resolved_scenario(spec: RunSpec) -> Scenario:
+    """The spec's scenario instance, rescaled to the spec's length."""
+    scenario = spec.scenario
+    if isinstance(scenario, str):
+        scenario = make_scenario(scenario)
+    return scenario.with_length(spec.resolved_length())
 
-    Attacked traces are generated fresh because ``inject_attacks``
-    mutates records in place.
+
+def _spool_path(digest: str) -> Path:
+    return _spool_dir() / f"{digest}.fgt"
+
+
+def _admit_spooled(writer_path: Path, digest: str) -> Path:
+    """Move a freshly finalized trace into the content-addressed
+    spool; identical bytes spooled earlier win."""
+    target = _spool_path(digest)
+    if target.exists():
+        writer_path.unlink()
+    else:
+        writer_path.replace(target)
+    return target
+
+
+def _stream_scenario(spec: RunSpec) -> tuple[StreamedTrace, int, str]:
+    """Compose the spec's scenario to disk (phase-bounded memory) and
+    return a reader over the spooled file."""
+    global _SPOOL_SEQ
+    scenario = _resolved_scenario(spec)
+    key = ("scenario", scenario.cache_token(), spec.seed)
+    cached = _STREAMED.get(key)
+    if cached is None:
+        _SPOOL_SEQ += 1
+        tmp = _spool_dir() / f"compose-{os.getpid()}-{_SPOOL_SEQ}.fgt"
+        composer = ScenarioComposer(scenario, spec.seed)
+        with TraceWriter(tmp, name=scenario.name,
+                         seed=spec.seed) as writer:
+            for records in composer.phases():
+                writer.extend(records)
+            digest = writer.finalize(**composer.meta_kwargs())
+        _admit_spooled(tmp, digest)
+        cached = (digest, len(composer.sites))
+        _STREAMED[key] = cached
+    digest, injected = cached
+    return (StreamedTrace(_spool_path(digest), digest=digest),
+            injected, digest)
+
+
+def _stream_plain(spec: RunSpec) -> tuple[StreamedTrace, int, str]:
+    """Spool a single-profile workload.
+
+    Clean traces stream straight from the generator (bounded memory);
+    attacked traces are injected in memory first — the injector scans
+    whole-trace candidate sets — then spooled, so only the simulation
+    is bounded.  Long attacked workloads should use scenarios, whose
+    phase-wise injection keeps composition bounded too.
     """
+    global _SPOOL_SEQ
+    length = spec.resolved_length()
+    attacks = spec.attacks
+    token = None if attacks is None else (
+        attacks.kind.name, attacks.count, attacks.pmc_bounds)
+    key = ("plain", spec.benchmark, spec.seed, length, token)
+    cached = _STREAMED.get(key)
+    if cached is None:
+        _SPOOL_SEQ += 1
+        tmp = _spool_dir() / f"gen-{os.getpid()}-{_SPOOL_SEQ}.fgt"
+        injected = 0
+        profile = PARSEC_PROFILES[spec.benchmark]
+        if attacks is None:
+            gen = TraceGenerator(profile, seed=spec.seed, length=length)
+            with TraceWriter(tmp, name=profile.name,
+                             seed=spec.seed) as writer:
+                writer.extend(gen.iter_records())
+                digest = writer.finalize(**gen.final_meta())
+        else:
+            trace = generate_trace(profile, seed=spec.seed,
+                                   length=length)
+            sites = inject_attacks(trace, attacks.kind, attacks.count,
+                                   pmc_bounds=attacks.pmc_bounds)
+            injected = len(sites)
+            with TraceWriter(tmp, name=trace.name,
+                             seed=trace.seed) as writer:
+                writer.extend(trace.records)
+                digest = writer.finalize(
+                    objects=trace.objects, heap_base=trace.heap_base,
+                    heap_end=trace.heap_end,
+                    global_base=trace.global_base,
+                    global_end=trace.global_end,
+                    warm_end=trace.warm_end)
+        _admit_spooled(tmp, digest)
+        cached = (digest, injected)
+        _STREAMED[key] = cached
+    digest, injected = cached
+    return (StreamedTrace(_spool_path(digest), digest=digest),
+            injected, digest)
+
+
+def _composed_trace(spec: RunSpec) -> tuple[Trace, int]:
+    """The (cached) in-memory composition of the spec's scenario."""
+    scenario = _resolved_scenario(spec)
+    key = (scenario.cache_token(), spec.seed)
+    cached = _SCENARIO_TRACES.get(key)
+    if cached is None:
+        trace, sites = compose_trace(scenario, spec.seed)
+        cached = (trace, len(sites))
+        _SCENARIO_TRACES[key] = cached
+    return cached
+
+
+def _trace_for(spec: RunSpec) -> tuple["Trace | StreamedTrace", int, str]:
+    """The spec's trace source, injected-attack count, and on-disk
+    digest ("" for in-memory workloads).
+
+    Single-profile attacked traces are generated fresh because
+    ``inject_attacks`` mutates records in place; scenario traces are
+    composed with their attacks baked in and therefore cacheable.
+    """
+    if spec.scenario is not None:
+        if spec.stream:
+            return _stream_scenario(spec)
+        trace, injected = _composed_trace(spec)
+        return trace, injected, ""
+    if spec.stream:
+        return _stream_plain(spec)
     length = spec.resolved_length()
     if spec.attacks is None:
-        return cached_trace(spec.benchmark, spec.seed, length), 0
+        return cached_trace(spec.benchmark, spec.seed, length), 0, ""
     trace = generate_trace(PARSEC_PROFILES[spec.benchmark],
                            seed=spec.seed, length=length)
     sites = inject_attacks(trace, spec.attacks.kind, spec.attacks.count,
                            pmc_bounds=spec.attacks.pmc_bounds)
-    return trace, len(sites)
+    return trace, len(sites), ""
 
 
 def baseline_cycles(benchmark: str, seed: int, length: int) -> int:
@@ -83,14 +251,26 @@ def baseline_cycles(benchmark: str, seed: int, length: int) -> int:
     return cycles
 
 
-def _baseline_for(spec: RunSpec, trace: Trace) -> int:
-    """Baseline cycles for the spec's (possibly attacked) trace."""
-    attacks = spec.attacks
-    if attacks is None:
+def _baseline_for(spec: RunSpec, trace) -> int:
+    """Baseline cycles for the spec's (possibly attacked or composed)
+    trace.  Streamed and in-memory variants of the same workload share
+    one cache entry: their record streams are bit-identical."""
+    if spec.scenario is not None:
+        scenario = _resolved_scenario(spec)
+        key = ("scenario", scenario.cache_token(), spec.seed)
+    elif spec.attacks is None and not spec.stream:
         return baseline_cycles(spec.benchmark, spec.seed,
                                spec.resolved_length())
-    key = (spec.benchmark, spec.seed, spec.resolved_length(),
-           (attacks.kind.name, attacks.count, attacks.pmc_bounds))
+    else:
+        # Streamed clean specs share the baseline_cycles key (their
+        # record stream is bit-identical to the in-memory trace) but
+        # run the baseline on the streamed source, so stream=True
+        # never materialises the workload just for the denominator.
+        attacks = spec.attacks
+        token = None if attacks is None else (
+            attacks.kind.name, attacks.count, attacks.pmc_bounds)
+        key = (spec.benchmark, spec.seed, spec.resolved_length(),
+               token)
     cycles = _BASELINES.get(key)
     if cycles is None:
         cycles = MainCore().run_standalone(trace).cycles
@@ -139,14 +319,14 @@ def _run_software(spec: RunSpec, trace: Trace) -> "SystemResult":
 
 def execute_spec(spec: RunSpec) -> RunRecord:
     """Execute one spec in this process and return its record."""
-    trace, injected = _trace_for(spec)
+    trace, injected, digest = _trace_for(spec)
     baseline = _baseline_for(spec, trace) if spec.need_baseline else 0
     if spec.software is not None:
         result = _run_software(spec, trace)
     else:
         result = _session_for(spec).run(trace)
     return RunRecord(spec=spec, result=result, baseline_cycles=baseline,
-                     injected_attacks=injected)
+                     injected_attacks=injected, trace_digest=digest)
 
 
 def execute_specs(specs: list[RunSpec]) -> list[RunRecord]:

@@ -220,7 +220,15 @@ class SimulationSession(Instrumented):
     def run(self, trace: Trace,
             max_cycles: int = 50_000_000) -> "SystemResult":
         """Run one workload to completion (trace consumed, queues
-        drained, engines idle) and return the system result."""
+        drained, engines idle) and return the system result.
+
+        ``trace`` is any trace source implementing the record protocol
+        (in-memory :class:`~repro.trace.record.Trace` or on-disk
+        :class:`~repro.trace.stream.StreamedTrace`): both the
+        event-driven and the dense ``REPRO_DENSE_LOOP`` path consume
+        it through the core's bounded-memory view, so streamed and
+        materialised runs are bit-identical.
+        """
         if self._dirty:
             raise SimulationError(
                 "session has already executed a trace; call reset() "

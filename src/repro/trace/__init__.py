@@ -6,7 +6,12 @@ per-benchmark instruction-mix profiles calibrated to published PARSEC
 characterisation data (see DESIGN.md's substitution table).
 """
 
-from repro.trace.attacks import AttackKind, AttackSite, inject_attacks
+from repro.trace.attacks import (
+    AttackKind,
+    AttackPlan,
+    AttackSite,
+    inject_attacks,
+)
 from repro.trace.generator import TraceGenerator, generate_trace
 from repro.trace.profiles import (
     PARSEC_BENCHMARKS,
@@ -14,17 +19,48 @@ from repro.trace.profiles import (
     WorkloadProfile,
 )
 from repro.trace.record import HeapObject, InstrRecord, Trace
+from repro.trace.scenario import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    Phase,
+    Scenario,
+    compose_stream,
+    compose_trace,
+    make_scenario,
+    register_scenario,
+)
+from repro.trace.stream import (
+    StreamedTrace,
+    TraceReader,
+    TraceWriter,
+    file_digest,
+    stream_trace,
+)
 
 __all__ = [
     "AttackKind",
+    "AttackPlan",
     "AttackSite",
     "HeapObject",
     "InstrRecord",
     "PARSEC_BENCHMARKS",
     "PARSEC_PROFILES",
+    "Phase",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "StreamedTrace",
     "Trace",
     "TraceGenerator",
+    "TraceReader",
+    "TraceWriter",
     "WorkloadProfile",
+    "compose_stream",
+    "compose_trace",
+    "file_digest",
     "generate_trace",
     "inject_attacks",
+    "make_scenario",
+    "register_scenario",
+    "stream_trace",
 ]

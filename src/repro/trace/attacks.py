@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum, auto
 
-from repro.errors import TraceError
+from repro.errors import ConfigError, TraceError
 from repro.isa.opcodes import InstrClass
 from repro.trace.record import Trace
 
@@ -30,6 +30,23 @@ class AttackKind(Enum):
     OOB_ACCESS = auto()     # AddressSanitizer: access in a redzone
     UAF_ACCESS = auto()     # UaF detector: access to quarantined region
     PMC_BOUND = auto()      # PMC bounds check: access outside fence
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A declarative injection request: what to inject and how much.
+
+    Hashable and picklable, so it rides inside
+    :class:`~repro.runner.spec.RunSpec` fields and scenario phases.
+    """
+
+    kind: AttackKind
+    count: int
+    pmc_bounds: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigError("attack count must be positive")
 
 
 @dataclass(frozen=True)

@@ -94,13 +94,19 @@ class TraceGenerator:
                       if r not in (7, 8, 9, 10, 11, 18, 19, 20))
 
     def __init__(self, profile: WorkloadProfile, seed: int, length: int,
-                 max_live_objects: int = 512):
+                 max_live_objects: int = 512,
+                 heap_base: int = HEAP_BASE, code_base: int = CODE_BASE):
         if length <= 0:
             raise TraceError(f"trace length must be positive, got {length}")
         self.profile = profile
         self.seed = seed
         self.length = length
         self.max_live_objects = max_live_objects
+        # Relocatable regions: the scenario compositor places each
+        # phase's heap (and code) in a fresh range so ground truth
+        # never aliases across phase boundaries.
+        self._heap_base = heap_base
+        self._code_base = code_base
         self._rng = DeterministicRng(seed)
         self._code_rng = DeterministicRng(seed).fork(0xC0DE)
 
@@ -135,7 +141,7 @@ class TraceGenerator:
         # branches resolve quickly, as in real code.
         self._recent_alu_dsts: deque[int] = deque([5] * 8, maxlen=8)
         self._dst_counter = 0
-        self._heap_cursor = HEAP_BASE
+        self._heap_cursor = heap_base
         self._live: list[HeapObject] = []
         self._objects: list[HeapObject] = []
         self._loop_state: dict[int, int] = {}  # site pc → trips left
@@ -181,7 +187,8 @@ class TraceGenerator:
             elif kind in (_LOAD, _STORE):
                 slot.size = rng.weighted_choice((8, 4, 1), (0.6, 0.3, 0.1))
             slots.append(slot)
-        return _Function(index, CODE_BASE + index * FUNC_BYTES, slots)
+        return _Function(index, self._code_base + index * FUNC_BYTES,
+                         slots)
 
     def _shape_branch(self, slot: _Slot, i: int, n_slots: int,
                       rng: DeterministicRng) -> None:
@@ -475,36 +482,45 @@ class TraceGenerator:
         return rec
 
     # -- main loop ----------------------------------------------------
-    def generate(self) -> Trace:
-        records: list[InstrRecord] = []
+    def iter_records(self):
+        """Yield the trace's records one at a time.
+
+        The streaming pipeline consumes this directly (one record plus
+        the heap ground-truth table resident); :meth:`generate`
+        materialises the same sequence.  After exhaustion the
+        generation metadata is available from :meth:`final_meta`.
+        """
         rng = self._rng
         max_depth = self.profile.max_call_depth
+        seq = 0
 
         # Seed the heap so early loads can hit live objects.
         for _ in range(4):
-            records.append(self._exec_alloc(len(records)))
+            yield self._exec_alloc(seq)
+            seq += 1
 
-        while len(records) < self.length:
-            seq = len(records)
-
+        while seq < self.length:
             # Drain any pending allocation memset first.
             if self._init_stores:
-                records.append(self._exec_init_store(seq))
+                yield self._exec_init_store(seq)
+                seq += 1
                 continue
 
             # Allocator events interleave at the profile's rate.
             if rng.chance(self._event_prob):
                 if (len(self._live) >= self.max_live_objects
                         or (len(self._live) > 8 and rng.chance(0.5))):
-                    records.append(self._exec_free(seq))
+                    yield self._exec_free(seq)
                 else:
-                    records.append(self._exec_alloc(seq))
+                    yield self._exec_alloc(seq)
+                seq += 1
                 continue
 
             # Function end: return (or restart at main's top).
             if self._slot >= len(self._func.slots):
                 if self._call_stack:
-                    records.append(self._exec_ret(seq))
+                    yield self._exec_ret(seq)
+                    seq += 1
                 else:
                     self._slot = 0
                 continue
@@ -526,28 +542,47 @@ class TraceGenerator:
                 if self._call_stack and (
                         len(self._call_stack) >= max_depth
                         or rng.chance(0.45)):
-                    records.append(self._exec_ret(seq))
+                    yield self._exec_ret(seq)
                 elif slot.kind == _CALL:
-                    records.append(self._exec_call(seq, slot))
+                    yield self._exec_call(seq, slot)
                 else:
                     # Borrowed ALU slot: call a hot function.
-                    records.append(self._exec_borrowed_call(seq))
+                    yield self._exec_borrowed_call(seq)
             elif kind == _LOAD:
-                records.append(self._exec_load(seq, slot))
+                yield self._exec_load(seq, slot)
             elif kind == _STORE:
-                records.append(self._exec_store(seq, slot))
+                yield self._exec_store(seq, slot)
             elif kind == _BRANCH:
-                records.append(self._exec_branch(seq, slot))
+                yield self._exec_branch(seq, slot)
             else:
-                records.append(self._exec_alu(seq, kind))
+                yield self._exec_alu(seq, kind)
+            seq += 1
 
+    def unwind_records(self, seq: int):
+        """Yield returns closing every open frame, starting at ``seq``.
+
+        The scenario compositor calls this at each phase boundary so a
+        phase hands the next one a balanced call stack (the shadow
+        stack kernel's ground truth never straddles a profile switch).
+        """
+        while self._call_stack:
+            yield self._exec_ret(seq)
+            seq += 1
+
+    def final_meta(self) -> dict:
+        """Generation metadata, valid once the record stream finished
+        (keyword-compatible with :meth:`TraceWriter.finalize`)."""
         warm_lines = min(self._WARM_LINES, self._num_lines)
-        return Trace(
-            name=self.profile.name, seed=self.seed, records=records,
-            objects=self._objects, heap_base=HEAP_BASE,
+        return dict(
+            objects=self._objects, heap_base=self._heap_base,
             heap_end=self._heap_cursor, global_base=GLOBAL_BASE,
             global_end=GLOBAL_BASE + self._num_lines * LINE_BYTES,
             warm_end=GLOBAL_BASE + warm_lines * LINE_BYTES)
+
+    def generate(self) -> Trace:
+        records = list(self.iter_records())
+        return Trace(name=self.profile.name, seed=self.seed,
+                     records=records, **self.final_meta())
 
 
 def generate_trace(profile: WorkloadProfile, seed: int = 1,

@@ -5,97 +5,46 @@ injection mutates them and experiments may want to archive the exact
 workload a result came from.  The format is a compact fixed-width
 binary: a JSON header (name, seed, regions, heap objects) followed by
 one 44-byte little-endian record per instruction.
+
+The format primitives live in :mod:`repro.trace.stream`, which also
+provides chunked bounded-memory access to the same files
+(:class:`~repro.trace.stream.TraceReader` /
+:class:`~repro.trace.stream.TraceWriter`); this module keeps the
+whole-trace convenience API.  Load errors name the failing record
+index and file offset, so a truncated or corrupted archive points at
+the damage instead of raising a bare struct error.
 """
 
 from __future__ import annotations
 
-import json
 import struct
 from pathlib import Path
 
-from repro.errors import TraceError
-from repro.isa.opcodes import InstrClass
-from repro.trace.record import HeapObject, InstrRecord, Trace
+from repro.trace.record import Trace
+from repro.trace.stream import (
+    MAGIC,
+    NO_ADDR as _NO_ADDR,
+    RECORD_STRUCT as _RECORD,
+    TraceMeta,
+    TraceReader,
+    pack_record,
+)
 
-MAGIC = b"FGTRACE1"
-# pc, word, opcode, funct3, iclass, dst, nsrcs, srcs[2], mem_addr,
-# mem_size, taken, target, result, attack_id
-_RECORD = struct.Struct("<QIBBBbbBBQHBQQi")
-
-_CLASS_BY_INDEX = tuple(InstrClass)
-_INDEX_BY_CLASS = {c: i for i, c in enumerate(_CLASS_BY_INDEX)}
-
-_NO_ADDR = (1 << 64) - 1
+__all__ = ["MAGIC", "load_trace", "save_trace"]
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write a trace (records + metadata) to ``path``."""
-    header = {
-        "name": trace.name,
-        "seed": trace.seed,
-        "count": len(trace.records),
-        "heap_base": trace.heap_base,
-        "heap_end": trace.heap_end,
-        "global_base": trace.global_base,
-        "global_end": trace.global_end,
-        "warm_end": trace.warm_end,
-        "objects": [
-            [o.base, o.size, o.alloc_seq,
-             -1 if o.free_seq is None else o.free_seq]
-            for o in trace.objects
-        ],
-    }
-    header_bytes = json.dumps(header).encode()
+    header_bytes = TraceMeta.from_trace(trace).header_bytes()
     with open(path, "wb") as fh:
         fh.write(MAGIC)
         fh.write(struct.pack("<I", len(header_bytes)))
         fh.write(header_bytes)
         for rec in trace.records:
-            srcs = (rec.srcs + (0, 0))[:2]
-            fh.write(_RECORD.pack(
-                rec.pc, rec.word, rec.opcode, rec.funct3,
-                _INDEX_BY_CLASS[rec.iclass],
-                -1 if rec.dst is None else rec.dst,
-                len(rec.srcs), srcs[0], srcs[1],
-                _NO_ADDR if rec.mem_addr is None else rec.mem_addr,
-                rec.mem_size, 1 if rec.taken else 0, rec.target,
-                rec.result,
-                -1 if rec.attack_id is None else rec.attack_id))
+            fh.write(pack_record(rec))
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
-    with open(path, "rb") as fh:
-        magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise TraceError(f"{path}: not a FireGuard trace file")
-        (header_len,) = struct.unpack("<I", fh.read(4))
-        header = json.loads(fh.read(header_len))
-        records = []
-        for seq in range(header["count"]):
-            blob = fh.read(_RECORD.size)
-            if len(blob) != _RECORD.size:
-                raise TraceError(f"{path}: truncated at record {seq}")
-            (pc, word, opcode, funct3, class_idx, dst, nsrcs, s0, s1,
-             mem_addr, mem_size, taken, target, result,
-             attack_id) = _RECORD.unpack(blob)
-            records.append(InstrRecord(
-                seq=seq, pc=pc, word=word, opcode=opcode, funct3=funct3,
-                iclass=_CLASS_BY_INDEX[class_idx],
-                dst=None if dst < 0 else dst,
-                srcs=(s0, s1)[:nsrcs],
-                mem_addr=None if mem_addr == _NO_ADDR else mem_addr,
-                mem_size=mem_size, taken=bool(taken), target=target,
-                result=result,
-                attack_id=None if attack_id < 0 else attack_id))
-    objects = [
-        HeapObject(base=b, size=s, alloc_seq=a,
-                   free_seq=None if f < 0 else f)
-        for b, s, a, f in header["objects"]
-    ]
-    return Trace(
-        name=header["name"], seed=header["seed"], records=records,
-        objects=objects, heap_base=header["heap_base"],
-        heap_end=header["heap_end"], global_base=header["global_base"],
-        global_end=header["global_end"],
-        warm_end=header.get("warm_end", 0))
+    """Read a trace previously written by :func:`save_trace` (or by a
+    :class:`~repro.trace.stream.TraceWriter`)."""
+    return TraceReader(path).load()

@@ -102,6 +102,19 @@ class Trace:
     def __len__(self) -> int:
         return len(self.records)
 
+    # Trace-source protocol, shared with
+    # :class:`~repro.trace.stream.StreamedTrace`: the simulator asks a
+    # workload for a fresh full pass (warm-up) and a sequential indexed
+    # view (dispatch) instead of touching ``records`` directly, so an
+    # on-disk trace can serve both with bounded memory.
+    def iter_records(self):
+        """A fresh pass over all records."""
+        return iter(self.records)
+
+    def record_view(self) -> list[InstrRecord]:
+        """Sequential indexed access for the dispatch loop."""
+        return self.records
+
     def class_counts(self) -> dict[InstrClass, int]:
         counts: dict[InstrClass, int] = {}
         for rec in self.records:

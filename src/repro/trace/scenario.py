@@ -1,0 +1,415 @@
+"""Composable multi-phase attack scenarios.
+
+The paper evaluates each guardian kernel on fixed-length homogeneous
+workloads.  Real deployments change behaviour over time — a service
+boots through allocation churn, settles into steady serving, absorbs
+an attack burst, idles.  A :class:`Scenario` declares that shape as an
+ordered tuple of :class:`Phase` (workload profile + duration + attack
+mix); the compositor splices the phases into one trace with ground
+truth carried correctly across the boundaries:
+
+* each phase's heap lives in a fresh range past everything the
+  previous phases allocated (objects never alias, so ASan/UaF ground
+  truth stays exact);
+* each phase's static code is laid out in its own region (callsites
+  and branch sites never collide between profiles);
+* the call stack is unwound at every boundary (a phase hands its
+  successor a balanced stack, so the shadow stack kernel's push/pop
+  pairing never straddles a profile switch);
+* record sequence numbers and attack ids run continuously across the
+  whole composition.
+
+Phases are the compositor's unit of memory: :func:`compose_stream`
+writes each phase to disk through a
+:class:`~repro.trace.stream.TraceWriter` and drops it, so arbitrarily
+long scenarios run with peak memory bounded by the largest phase —
+repeat phases (:meth:`Scenario.repeated`) rather than stretching them
+(:meth:`Scenario.with_length`) to grow a scenario without growing its
+footprint.  :func:`compose_trace` materialises the identical record
+sequence in memory; the differential tests hold the two bit-identical.
+
+Named scenarios register like kernels do in
+:mod:`repro.kernels.registry`: :data:`SCENARIOS` maps names to library
+definitions and :func:`make_scenario` resolves (and optionally
+rescales) them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigError, TraceError
+from repro.trace.attacks import AttackKind, AttackPlan, AttackSite, \
+    inject_attacks
+from repro.trace.generator import CODE_BASE, GLOBAL_BASE, HEAP_BASE, \
+    TraceGenerator
+from repro.trace.profiles import PARSEC_PROFILES, WorkloadProfile
+from repro.trace.record import InstrRecord, Trace
+from repro.trace.stream import DEFAULT_CHUNK_RECORDS, StreamedTrace, \
+    TraceWriter
+from repro.utils.rng import DeterministicRng
+
+#: Address headroom between one phase's heap top and the next phase's
+#: heap base (keeps redzone/quarantine probes of adjacent phases apart).
+PHASE_HEAP_GAP = 0x1_0000
+
+#: Code region reserved per phase (far above any profile's footprint).
+PHASE_CODE_STRIDE = 0x10_0000
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One scenario segment: a workload profile, a duration, and the
+    attack mix injected into it.
+
+    ``profile`` is a PARSEC profile name or a custom
+    :class:`WorkloadProfile`; ``length`` is the phase's record count
+    (treated as a proportional weight by
+    :meth:`Scenario.with_length`).
+    """
+
+    profile: str | WorkloadProfile
+    length: int
+    attacks: tuple[AttackPlan, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigError(
+                f"phase length must be positive, got {self.length}")
+        if isinstance(self.attacks, AttackPlan):
+            object.__setattr__(self, "attacks", (self.attacks,))
+        elif not isinstance(self.attacks, tuple):
+            object.__setattr__(self, "attacks", tuple(self.attacks))
+        if isinstance(self.profile, str) \
+                and self.profile not in PARSEC_PROFILES:
+            raise ConfigError(
+                f"unknown profile {self.profile!r}; available: "
+                f"{sorted(PARSEC_PROFILES)}")
+
+    def resolved_profile(self) -> WorkloadProfile:
+        if isinstance(self.profile, str):
+            return PARSEC_PROFILES[self.profile]
+        return self.profile
+
+    def _token(self) -> tuple:
+        profile = self.profile if isinstance(self.profile, str) \
+            else ("custom", self.profile.name, repr(self.profile))
+        attacks = tuple((p.kind.name, p.count, p.pmc_bounds)
+                        for p in self.attacks)
+        return (profile, self.length, attacks)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered composition of phases, hashable and picklable so it
+    can ride inside a :class:`~repro.runner.spec.RunSpec`."""
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.phases, tuple):
+            object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ConfigError(f"scenario {self.name!r} has no phases")
+
+    def total_length(self) -> int:
+        return sum(phase.length for phase in self.phases)
+
+    def attack_count(self) -> int:
+        return sum(plan.count for phase in self.phases
+                   for plan in phase.attacks)
+
+    def with_length(self, total: int) -> "Scenario":
+        """Rescale phase lengths proportionally to sum to ``total``.
+
+        Phase lengths act as weights; cumulative rounding keeps the
+        result deterministic and exactly ``total`` records long.  Very
+        small totals can leave phases too short for their attack plans
+        (a UaF phase needs ~2600 records of room — see
+        :meth:`min_total`) — prefer :meth:`repeated` for growing a
+        scenario, and stay above ``min_total()`` when shrinking one.
+        """
+        if total <= 0:
+            raise ConfigError(f"total length must be positive: {total}")
+        current = self.total_length()
+        if current == total:
+            return self
+        phases = []
+        cum = 0
+        boundary = 0
+        for phase in self.phases:
+            cum += phase.length
+            nxt = round(total * cum / current)
+            phases.append(replace(phase, length=max(1, nxt - boundary)))
+            boundary = nxt
+        return Scenario(name=self.name, phases=tuple(phases))
+
+    #: Minimum phase length able to host a UaF plan: quarantine
+    #: poisoning is deferred past the engines' in-flight window, so the
+    #: free, the ~1100-record ageing gap and the dangling load must all
+    #: fit inside the phase (plus the injector's warm-up skip).
+    _MIN_UAF_PHASE = 2600
+    _MIN_ATTACK_PHASE = 600
+
+    def min_total(self) -> int:
+        """The smallest total length this scenario composes at without
+        starving any phase's attack plan (used by harnesses that clamp
+        ``REPRO_TRACE_LEN`` scaling).
+
+        Phase lengths are proportional weights under
+        :meth:`with_length`, so the binding constraint is the phase
+        whose *share* of the total must still cover its floor.
+        """
+        weight_total = self.total_length()
+        needed = 1
+        for phase in self.phases:
+            kinds = {plan.kind for plan in phase.attacks}
+            if AttackKind.UAF_ACCESS in kinds:
+                floor = self._MIN_UAF_PHASE
+            elif kinds:
+                floor = self._MIN_ATTACK_PHASE
+            else:
+                continue
+            needed = max(needed,
+                         -(-floor * weight_total // phase.length))
+        return needed
+
+    def repeated(self, times: int) -> "Scenario":
+        """Tile the phase list ``times`` times (the bounded-memory way
+        to grow a scenario: phase sizes, and therefore the streaming
+        compositor's peak memory, stay constant)."""
+        if times <= 0:
+            raise ConfigError(f"repeat count must be positive: {times}")
+        return Scenario(name=f"{self.name}x{times}",
+                        phases=self.phases * times)
+
+    def with_attacks(self, *plans: AttackPlan,
+                     phase: int | None = None) -> "Scenario":
+        """The scenario with ``plans`` as the attack mix of one phase
+        (the longest, unless ``phase`` picks an index) and every other
+        phase clean — how the latency harnesses point their per-kernel
+        attack kind at an arbitrary scenario."""
+        if phase is None:
+            phase = max(range(len(self.phases)),
+                        key=lambda i: self.phases[i].length)
+        phases = tuple(
+            replace(p, attacks=plans if i == phase else ())
+            for i, p in enumerate(self.phases))
+        return Scenario(name=self.name, phases=phases)
+
+    def cache_token(self) -> tuple:
+        """A hashable, repr-stable identity for cache keys."""
+        return (self.name,
+                tuple(phase._token() for phase in self.phases))
+
+
+class ScenarioComposer:
+    """Splices a scenario's phases into one continuous trace.
+
+    :meth:`phases` yields each phase's records (already offset into
+    the composed sequence space) one phase at a time; the composed
+    metadata — object table, heap top, attack sites — accumulates on
+    the composer and is complete once the iterator is exhausted.
+    Callers choose the sink: concatenate (:func:`compose_trace`) or
+    write-and-drop (:func:`compose_stream`).
+    """
+
+    def __init__(self, scenario: Scenario, seed: int):
+        self.scenario = scenario
+        self.seed = seed
+        self.sites: list[AttackSite] = []
+        self.objects: list = []
+        self.count = 0
+        self.heap_end = HEAP_BASE
+        self.global_end = 0
+        self.warm_end = 0
+
+    def phases(self) -> Iterator[list[InstrRecord]]:
+        rng = DeterministicRng(self.seed)
+        heap_base = HEAP_BASE
+        seq_offset = 0
+        id_offset = 0
+        for index, phase in enumerate(self.scenario.phases):
+            phase_seed = rng.fork(index + 1).next_u64()
+            gen = TraceGenerator(
+                phase.resolved_profile(), seed=phase_seed,
+                length=phase.length,
+                heap_base=heap_base,
+                code_base=CODE_BASE + index * PHASE_CODE_STRIDE)
+            records = list(gen.iter_records())
+            # Balanced hand-off: close every frame the phase left open.
+            records.extend(gen.unwind_records(len(records)))
+            meta = gen.final_meta()
+            phase_trace = Trace(
+                name=self.scenario.name, seed=phase_seed,
+                records=records, **meta)
+
+            for plan in phase.attacks:
+                try:
+                    sites = inject_attacks(
+                        phase_trace, plan.kind, plan.count,
+                        pmc_bounds=plan.pmc_bounds)
+                except TraceError as exc:
+                    label = phase.label or phase.resolved_profile().name
+                    raise TraceError(
+                        f"scenario {self.scenario.name!r} phase "
+                        f"{index} ({label}, {phase.length} records) "
+                        f"cannot host its {plan.kind.name} x"
+                        f"{plan.count} plan: {exc}; compose at a "
+                        f"total length of at least "
+                        f"{self.scenario.min_total()}") from exc
+                # Injection numbers attacks from 0 within each call;
+                # rebase ids into the composition's space (phase-local
+                # seq == list index, so sites address records directly).
+                for site in sites:
+                    records[site.seq].attack_id = site.attack_id + id_offset
+                    self.sites.append(AttackSite(
+                        site.attack_id + id_offset,
+                        site.seq + seq_offset, site.kind, site.detail))
+                id_offset += plan.count
+
+            heap_top = max(
+                phase_trace.heap_end,
+                max((obj.end for obj in phase_trace.objects),
+                    default=phase_trace.heap_end))
+            for rec in records:
+                rec.seq += seq_offset
+            for obj in phase_trace.objects:
+                obj.alloc_seq += seq_offset
+                if obj.free_seq is not None:
+                    obj.free_seq += seq_offset
+            self.objects.extend(phase_trace.objects)
+
+            seq_offset += len(records)
+            heap_base = ((heap_top + 0xFFF) & ~0xFFF) + PHASE_HEAP_GAP
+            self.heap_end = heap_top
+            self.global_end = max(self.global_end, meta["global_end"])
+            self.warm_end = max(self.warm_end, meta["warm_end"])
+            yield records
+        self.count = seq_offset
+
+    def meta_kwargs(self) -> dict:
+        """Composed-trace metadata (valid after :meth:`phases` is
+        exhausted), keyword-compatible with ``TraceWriter.finalize``."""
+        return dict(objects=self.objects, heap_base=HEAP_BASE,
+                    heap_end=self.heap_end, global_base=GLOBAL_BASE,
+                    global_end=self.global_end, warm_end=self.warm_end)
+
+
+def compose_trace(scenario: Scenario,
+                  seed: int) -> tuple[Trace, list[AttackSite]]:
+    """Compose a scenario into one in-memory :class:`Trace`."""
+    composer = ScenarioComposer(scenario, seed)
+    records = [rec for chunk in composer.phases() for rec in chunk]
+    trace = Trace(name=scenario.name, seed=seed, records=records,
+                  **composer.meta_kwargs())
+    return trace, composer.sites
+
+
+def compose_stream(scenario: Scenario, seed: int, path: str | Path,
+                   chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                   ) -> tuple[StreamedTrace, list[AttackSite]]:
+    """Compose a scenario straight to an FGTRACE1 file.
+
+    Bit-identical records to :func:`compose_trace`, but each phase is
+    written and dropped, so peak memory is bounded by the largest
+    phase instead of the whole composition.
+    """
+    composer = ScenarioComposer(scenario, seed)
+    with TraceWriter(path, name=scenario.name, seed=seed) as writer:
+        for records in composer.phases():
+            writer.extend(records)
+        digest = writer.finalize(**composer.meta_kwargs())
+    trace = StreamedTrace(path, chunk_records=chunk_records,
+                          digest=digest)
+    return trace, composer.sites
+
+
+# -- the scenario library ---------------------------------------------------
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names are unique)."""
+    if scenario.name in SCENARIOS:
+        raise ConfigError(
+            f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def make_scenario(name: str, length: int | None = None) -> Scenario:
+    """Resolve a library scenario by name, optionally rescaled to a
+    total record count."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise TraceError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    if length is not None:
+        scenario = scenario.with_length(length)
+    return scenario
+
+
+#: A near-idle polling profile (no PARSEC analogue): tiny hot working
+#: set, branchy wait loops, almost no allocator traffic.
+IDLE_PROFILE = WorkloadProfile(
+    name="idle-poll", frac_load=0.08, frac_store=0.03,
+    frac_branch=0.18, frac_call=0.010, frac_fp=0.0,
+    alloc_per_kilo=0.05, mean_alloc_bytes=64, working_set_kb=32,
+    locality_skew=2.2, hot_fraction=0.995, branch_bias=0.97,
+    dep_distance=5.0, code_footprint_kb=4, max_call_depth=8)
+
+register_scenario(Scenario(
+    name="boot-then-serve",
+    phases=(
+        Phase("dedup", 3000, label="boot"),
+        Phase("swaptions", 5000, label="serve",
+              attacks=(AttackPlan(AttackKind.RET_HIJACK, 12),)),
+    )))
+
+register_scenario(Scenario(
+    name="alloc-churn",
+    phases=(
+        Phase("dedup", 2500, label="churn",
+              attacks=(AttackPlan(AttackKind.OOB_ACCESS, 8),)),
+        Phase("freqmine", 3500, label="mine",
+              attacks=(AttackPlan(AttackKind.UAF_ACCESS, 6),)),
+        Phase("dedup", 2000, label="rechurn",
+              attacks=(AttackPlan(AttackKind.OOB_ACCESS, 6),)),
+    )))
+
+register_scenario(Scenario(
+    name="attack-burst",
+    phases=(
+        Phase("x264", 3000, label="steady"),
+        Phase("x264", 1500, label="burst",
+              attacks=(AttackPlan(AttackKind.RET_HIJACK, 10),
+                       AttackPlan(AttackKind.OOB_ACCESS, 10))),
+        Phase("x264", 2500, label="tail"),
+    )))
+
+register_scenario(Scenario(
+    name="quiescent-idle",
+    phases=(
+        Phase(IDLE_PROFILE, 2500, label="idle"),
+        Phase("blackscholes", 3000, label="burst"),
+        Phase(IDLE_PROFILE, 2500, label="idle"),
+    )))
+
+register_scenario(Scenario(
+    name="mixed-guard",
+    phases=(
+        Phase("bodytrack", 3000, label="track",
+              attacks=(AttackPlan(AttackKind.RET_HIJACK, 8),)),
+        Phase("dedup", 3000, label="dedup",
+              attacks=(AttackPlan(AttackKind.OOB_ACCESS, 8),)),
+        Phase("ferret", 4000, label="query",
+              attacks=(AttackPlan(AttackKind.UAF_ACCESS, 6),)),
+    )))
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)

@@ -1,0 +1,108 @@
+"""Tests for the chunked FGTRACE1 reader/writer layer."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generator import generate_trace
+from repro.trace.io import save_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.stream import (
+    RECORD_BYTES,
+    StreamedTrace,
+    TraceReader,
+    TraceWriter,
+    file_digest,
+    stream_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(PARSEC_PROFILES["dedup"], seed=31, length=2500)
+
+
+class TestWriter:
+    def test_bytes_identical_to_save_trace(self, trace, tmp_path):
+        whole = tmp_path / "whole.fgt"
+        chunked = tmp_path / "chunked.fgt"
+        save_trace(trace, whole)
+        with TraceWriter(chunked, name=trace.name,
+                         seed=trace.seed) as writer:
+            for rec in trace.records:
+                writer.append(rec)
+            digest = writer.finalize(
+                objects=trace.objects, heap_base=trace.heap_base,
+                heap_end=trace.heap_end, global_base=trace.global_base,
+                global_end=trace.global_end, warm_end=trace.warm_end)
+        assert whole.read_bytes() == chunked.read_bytes()
+        assert digest == file_digest(whole)
+
+    def test_abort_leaves_nothing(self, trace, tmp_path):
+        path = tmp_path / "aborted.fgt"
+        with TraceWriter(path, name="x", seed=1) as writer:
+            writer.append(trace.records[0])
+        assert not path.exists()
+        assert not list(tmp_path.iterdir())
+
+    def test_stream_trace_matches_generate(self, trace, tmp_path):
+        streamed = stream_trace(PARSEC_PROFILES["dedup"], 31, 2500,
+                                tmp_path / "gen.fgt")
+        assert len(streamed) == len(trace)
+        for a, b in zip(streamed.iter_records(), trace.records):
+            assert (a.seq, a.pc, a.word, a.result) \
+                == (b.seq, b.pc, b.word, b.result)
+        assert streamed.heap_end == trace.heap_end
+        assert len(streamed.objects) == len(trace.objects)
+
+
+class TestReader:
+    def test_fixed_size_chunks(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        reader = TraceReader(path, chunk_records=400)
+        sizes = [len(chunk) for chunk in reader]
+        assert sizes == [400] * 6 + [100]
+        assert len(reader) == 2500
+        # A fresh pass yields the same records again.
+        assert sum(len(c) for c in reader) == 2500
+
+    def test_chunk_records_validated(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        with pytest.raises(TraceError, match="chunk_records"):
+            TraceReader(path, chunk_records=0)
+
+
+class TestStreamedTrace:
+    def test_record_view_is_forward_only(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        streamed = StreamedTrace(path, chunk_records=256)
+        view = streamed.record_view()
+        assert len(view) == len(trace)
+        assert view[0].word == trace.records[0].word
+        assert view[1000].pc == trace.records[1000].pc
+        with pytest.raises(TraceError, match="forward-only"):
+            view[5]
+        with pytest.raises(IndexError):
+            view[len(trace)]
+
+    def test_fresh_views_restart(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        streamed = StreamedTrace(path)
+        first = streamed.record_view()
+        assert first[2000].seq == 2000
+        second = streamed.record_view()
+        assert second[0].seq == 0  # a new view starts over
+
+    def test_standalone_core_run_identical(self, trace, tmp_path):
+        from repro.ooo.core import MainCore
+
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        streamed = StreamedTrace(path, chunk_records=512)
+        mem = MainCore().run_standalone(trace)
+        disk = MainCore().run_standalone(streamed)
+        assert (mem.cycles, mem.committed, mem.mispredicts) \
+            == (disk.cycles, disk.committed, disk.mispredicts)

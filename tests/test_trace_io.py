@@ -73,3 +73,81 @@ class TestRoundTrip:
         path.write_bytes(data[:len(data) - 10])
         with pytest.raises(TraceError):
             load_trace(path)
+
+
+class TestLoadErrorReporting:
+    """Load errors name the failing record index and file offset (the
+    regression for bare-struct-message TraceErrors)."""
+
+    def _data_offset(self, path) -> int:
+        from repro.trace.stream import MAGIC
+        import struct
+
+        blob = path.read_bytes()
+        (header_len,) = struct.unpack(
+            "<I", blob[len(MAGIC):len(MAGIC) + 4])
+        return len(MAGIC) + 4 + header_len
+
+    def test_truncated_mid_record_names_index_and_offset(
+            self, trace, tmp_path):
+        from repro.trace.stream import RECORD_BYTES
+
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        data_offset = self._data_offset(path)
+        # Cut the file in the middle of record 137.
+        cut = data_offset + 137 * RECORD_BYTES + 11
+        path.write_bytes(path.read_bytes()[:cut])
+        with pytest.raises(TraceError) as err:
+            load_trace(path)
+        message = str(err.value)
+        assert "record 137" in message
+        assert f"file offset {data_offset + 137 * RECORD_BYTES}" \
+            in message
+        assert "found 11" in message
+
+    def test_truncated_at_record_boundary(self, trace, tmp_path):
+        from repro.trace.stream import RECORD_BYTES
+
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        data_offset = self._data_offset(path)
+        path.write_bytes(
+            path.read_bytes()[:data_offset + 2000 * RECORD_BYTES])
+        with pytest.raises(TraceError, match="record 2000"):
+            load_trace(path)
+
+    def test_corrupt_record_names_index_and_offset(
+            self, trace, tmp_path):
+        from repro.trace.stream import RECORD_BYTES
+
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        data_offset = self._data_offset(path)
+        # Clobber record 42's instruction-class byte (offset 14 in the
+        # packed layout) with an out-of-range index.
+        blob = bytearray(path.read_bytes())
+        blob[data_offset + 42 * RECORD_BYTES + 14] = 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceError) as err:
+            load_trace(path)
+        message = str(err.value)
+        assert "record 42" in message
+        assert f"file offset {data_offset + 42 * RECORD_BYTES}" \
+            in message
+
+    def test_truncated_header_reported(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(TraceError, match="truncated header"):
+            load_trace(path)
+
+    def test_corrupt_header_json_reported(self, trace, tmp_path):
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        blob = bytearray(path.read_bytes())
+        blob[14] = ord("}")  # break the JSON without touching length
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceError, match="corrupt JSON header"):
+            load_trace(path)
