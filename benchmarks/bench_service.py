@@ -1,0 +1,87 @@
+"""Cold-vs-warm result store benchmark (BENCH_service.json).
+
+Runs a representative figure grid twice through the service client
+against one persistent store: the cold pass simulates and writes
+back, the warm pass — fresh client, per-process worker caches
+dropped — must answer entirely from disk.  Records the wall-clock
+ratio to ``BENCH_service.json`` (repo root or ``REPRO_BENCH_OUT``),
+which CI uploads as an artifact to build the perf trajectory over
+PRs.
+
+The warm pass doubles as an end-to-end acceptance check: zero
+simulations (client dispatch counter and the worker's own simulation
+counter both stay flat) and bit-identical records.  The issue's
+acceptance bar is a >= 5x warm speedup; loading a few JSON documents
+beats a few hundred thousand simulated cycles by far more than that
+on any machine, so the default gate is strict (set
+``REPRO_SERVICE_STRICT=0`` to only guard against gross regression).
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import bench_set
+
+from repro.runner import simulations_executed, sweep
+from repro.runner import worker as runner_worker
+from repro.service import Client, ResultStore
+
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "6000"))
+STRICT = os.environ.get("REPRO_SERVICE_STRICT", "1") == "1"
+MIN_SPEEDUP = 5.0 if STRICT else 1.0
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent \
+        / "BENCH_service.json"
+
+
+def _grid():
+    return sweep(bench_set(), kernels=[("pmc",), ("asan",)],
+                 engines_per_kernel=[2, 4], length=TRACE_LEN)
+
+
+def test_cold_vs_warm_store():
+    specs = _grid()
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+
+    runner_worker.clear_caches()
+    with Client(workers=1, store=store_dir, cache=False) as cold:
+        t0 = time.perf_counter()
+        first = cold.run(specs)
+        cold_s = time.perf_counter() - t0
+        assert cold.stats.executed == len(specs)
+    assert len(ResultStore(store_dir)) == len(specs)
+
+    runner_worker.clear_caches()
+    sims_before = simulations_executed()
+    with Client(workers=1, store=store_dir, cache=False) as warm:
+        t0 = time.perf_counter()
+        second = warm.run(specs)
+        warm_s = time.perf_counter() - t0
+        assert warm.stats.executed == 0
+        assert warm.stats.store_hits == len(specs)
+    assert simulations_executed() == sims_before
+    assert second == first  # store round trip is bit-identical
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "grid_specs": len(specs),
+        "benchmarks": list(bench_set()),
+        "trace_len": TRACE_LEN,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(speedup, 1),
+        "warm_simulations": 0,
+        "strict": STRICT,
+    }
+    _out_path().write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\ncold {cold_s:.2f}s -> warm {warm_s:.3f}s "
+          f"({speedup:.0f}x, {len(specs)} specs)")
+    assert speedup >= MIN_SPEEDUP, payload

@@ -1,15 +1,18 @@
-"""Session/runner microbenchmarks: what build-once/run-many buys.
+"""Session/client microbenchmarks: what build-once/run-many buys.
 
 These regression-track the two mechanisms every sweep leans on:
 session reuse (build one system, ``reset()`` between traces) versus
-rebuilding the system per run, and the runner's per-spec record cache.
+rebuilding the system per run, and the service client's per-spec
+record cache (the persistent-store variant is timed separately in
+``bench_service.py``).
 """
 
 from conftest import bench_set
 
 from repro.core.system import FireGuardSystem
 from repro.kernels import make_kernel
-from repro.runner import SweepRunner, sweep
+from repro.runner import sweep
+from repro.service import Client
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_PROFILES
 
@@ -57,14 +60,15 @@ def test_rebuild_per_trace(benchmark):
     assert benchmark.pedantic(run, rounds=1, iterations=1) > 0
 
 
-def test_runner_record_cache(benchmark):
-    """A repeated sweep is answered from the runner's spec cache."""
+def test_client_record_cache(benchmark):
+    """A repeated sweep is answered from the client's memory cache."""
     specs = sweep(bench_set(), kernels=("pmc",), length=TRACE_LEN)
-    runner = SweepRunner(workers=1)
-    first = runner.run(specs)
+    with Client(workers=1, store=False) as client:
+        first = client.run(specs)
 
-    def rerun():
-        return runner.run(specs)
+        def rerun():
+            return client.run(specs)
 
-    again = benchmark(rerun)
+        again = benchmark(rerun)
     assert [r.result for r in again] == [r.result for r in first]
+    assert client.stats.executed == len(specs)  # only the cold pass

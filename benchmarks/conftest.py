@@ -1,9 +1,10 @@
 """Benchmark-harness configuration.
 
 Each benchmark regenerates one paper table/figure and prints it; the
-figure harnesses submit their spec batches through the sweep runner
-(``repro.runner``), so ``REPRO_WORKERS=<n>`` parallelises them on
-multi-core hosts.  To keep ``pytest benchmarks/ --benchmark-only``
+figure harnesses submit their spec batches through the service client
+(``repro.service``), so ``REPRO_WORKERS=<n>`` parallelises them on
+multi-core hosts and ``REPRO_RESULT_STORE=<dir>`` makes warm reruns
+free.  To keep ``pytest benchmarks/ --benchmark-only``
 tractable, the default run uses a representative benchmark subset and
 a reduced trace length; set ``REPRO_BENCH_SET=full`` and/or
 ``REPRO_TRACE_LEN=<n>`` for the full sweep.

@@ -5,12 +5,15 @@ Generates a synthetic PARSEC-like workload, runs it on the simulated
 4-wide OoO core with a FireGuard frontend and four Rocket-style µcores
 running the ASan guardian kernel, and reports the slowdown and
 pipeline statistics.  The backend sweep at the end submits declarative
-specs to the sweep runner (the API every experiment harness uses).
+specs to the service client (the API every experiment harness uses):
+``submit`` returns a future-like handle immediately, and ``map``
+streams records back as they complete.
 """
 
 from repro.core.system import FireGuardSystem, run_baseline
 from repro.kernels import make_kernel
-from repro.runner import RunSpec, SweepRunner
+from repro.runner import RunSpec
+from repro.service import Client
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_PROFILES
 
@@ -39,16 +42,17 @@ def main() -> None:
     print(f"  wall time simulated   : {result.time_ns:.0f} ns")
 
     # 4. Scale the backend up and watch the overhead melt (Fig 10):
-    #    declarative specs through the sweep runner.
-    runner = SweepRunner()
-    records = runner.run([
-        RunSpec(benchmark="x264", kernels=("asan",),
-                engines_per_kernel=count, seed=42, length=10000)
-        for count in (4, 12)
-    ])
-    for record in records:
-        print(f"with {record.spec.engines_per_kernel:2d} ucores: "
-              f"slowdown {record.slowdown:.2f}x")
+    #    declarative specs streamed through the service client.  Point
+    #    REPRO_RESULT_STORE at a directory and reruns load these
+    #    records instead of simulating.
+    with Client() as client:
+        specs = [RunSpec(benchmark="x264", kernels=("asan",),
+                         engines_per_kernel=count, seed=42,
+                         length=10000)
+                 for count in (4, 12)]
+        for record in client.map(specs):
+            print(f"with {record.spec.engines_per_kernel:2d} ucores: "
+                  f"slowdown {record.slowdown:.2f}x")
 
 
 if __name__ == "__main__":

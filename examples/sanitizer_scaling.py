@@ -3,13 +3,15 @@
 
 Reproduces the Fig 10(c) experiment on a few workloads: the slowdown
 collapses as analysis engines are added, with the memory-heavy x264
-recovering slowest.  The whole grid is one declarative ``sweep`` call;
-set ``REPRO_WORKERS=<n>`` (or pass ``workers=``) to fan the runs out
-over processes on a multi-core host.
+recovering slowest.  The whole grid is one declarative ``sweep`` call
+streamed through the service client; set ``REPRO_WORKERS=<n>`` (or
+pass ``workers=``) to fan the runs out over processes, and
+``REPRO_RESULT_STORE=<dir>`` to make reruns free.
 """
 
 from repro.analysis.report import format_table
-from repro.runner import SweepRunner, sweep
+from repro.runner import sweep
+from repro.service import Client
 
 WORKLOADS = ("swaptions", "dedup", "x264")
 COUNTS = (2, 4, 6, 8, 12)
@@ -19,7 +21,7 @@ def main() -> None:
     specs = sweep(WORKLOADS, kernels=("asan",),
                   engines_per_kernel=list(COUNTS),
                   seed=11, length=8000)
-    records = iter(SweepRunner().run(specs))
+    records = Client().map(specs)
 
     rows = [["benchmark"] + [f"{n} ucores" for n in COUNTS]]
     for name in WORKLOADS:

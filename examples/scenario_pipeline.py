@@ -11,7 +11,8 @@ Run:  PYTHONPATH=src python examples/scenario_pipeline.py
 import tempfile
 from pathlib import Path
 
-from repro.runner import RunSpec, SweepRunner
+from repro.runner import RunSpec
+from repro.service import Client
 from repro.trace.attacks import AttackKind, AttackPlan
 from repro.trace.scenario import Phase, Scenario, compose_stream
 from repro.trace.stream import TraceReader
@@ -39,28 +40,31 @@ def main() -> None:
         chunks = sum(1 for _ in TraceReader(path, chunk_records=2048))
         print(f"  {chunks} chunks of <=2048 records\n")
 
-        # The runner drives the same pipeline declaratively: scenario
+        # The client drives the same pipeline declaratively: scenario
         # specs compose to the worker's content-addressed spool and
         # simulate through the bounded-memory reader (stream=True).
-        runner = SweepRunner()
-        for kernel in ("shadow_stack", "asan"):
-            record = runner.run_one(RunSpec(
-                benchmark=scenario.name, kernels=(kernel,),
-                engines_per_kernel=2, scenario=scenario, stream=True,
-                length=scenario.total_length()))
+        # map() streams records back as each kernel's run completes.
+        client = Client()
+        specs = [RunSpec(benchmark=scenario.name, kernels=(kernel,),
+                         engines_per_kernel=2, scenario=scenario,
+                         stream=True, length=scenario.total_length())
+                 for kernel in ("shadow_stack", "asan")]
+        for record in client.map(specs):
             result = record.result
-            print(f"{kernel:>12}: slowdown {record.slowdown:.3f}  "
+            print(f"{record.spec.kernels[0]:>12}: "
+                  f"slowdown {record.slowdown:.3f}  "
                   f"detections {len(result.detections)}/"
                   f"{record.injected_attacks}  "
                   f"digest {record.trace_digest[:12]}")
 
     # Library scenarios register like kernels do; a name is enough.
-    record = SweepRunner().run_one(RunSpec(
+    record = client.run_one(RunSpec(
         benchmark="boot-then-serve", kernels=("shadow_stack",),
         engines_per_kernel=2, scenario="boot-then-serve", stream=True))
     print(f"\nlibrary 'boot-then-serve': slowdown "
           f"{record.slowdown:.3f}, detections "
           f"{len(record.result.detections)}/{record.injected_attacks}")
+    client.close()
 
 
 if __name__ == "__main__":

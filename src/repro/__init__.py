@@ -20,25 +20,38 @@ Quick tour::
     result = system.run(trace)
     print(result.cycles / run_baseline(trace))
 
-Sweeps go through the declarative runner (one built system per
-configuration per worker, reset between traces)::
+Sweeps go through the service client: declarative specs, async
+submission with future-like handles, incremental streaming, and a
+persistent result store (``REPRO_RESULT_STORE``) that makes warm
+reruns free::
 
-    from repro.runner import SweepRunner, sweep
+    from repro.runner import RunSpec, sweep
+    from repro.service import Client
 
-    records = SweepRunner().run(sweep(
-        ("x264", "dedup"), kernels=("asan",),
-        engines_per_kernel=[2, 4, 8]))
+    client = Client(workers=4, store="results/")
+    handle = client.submit(RunSpec(benchmark="x264",
+                                   kernels=("asan",)))
+    specs = sweep(("x264", "dedup"), kernels=("asan",),
+                  engines_per_kernel=[2, 4, 8])
+    for record in client.map(specs):       # streams, in order
+        print(record.spec.benchmark, record.slowdown)
+    print(handle.result().slowdown, client.stats)
+
+Each distinct configuration is simulated at most once per store —
+rerunning a whole figure grid against a warm store executes zero
+simulations and returns bit-identical records.
 
 See DESIGN.md for the architecture map and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.config import FireGuardConfig
 from repro.core.system import FireGuardSystem, SystemResult, run_baseline
 from repro.kernels import KERNELS, make_kernel
 from repro.runner import RunRecord, RunSpec, SweepRunner, sweep
+from repro.service import Client, ResultStore, RunHandle, default_client
 from repro.sim import SimulationSession
 from repro.trace.generator import generate_trace
 from repro.trace.profiles import PARSEC_BENCHMARKS, PARSEC_PROFILES
@@ -53,12 +66,15 @@ from repro.trace.scenario import (
 from repro.trace.stream import StreamedTrace, stream_trace
 
 __all__ = [
+    "Client",
     "FireGuardConfig",
     "FireGuardSystem",
     "KERNELS",
     "PARSEC_BENCHMARKS",
     "PARSEC_PROFILES",
     "Phase",
+    "ResultStore",
+    "RunHandle",
     "RunRecord",
     "RunSpec",
     "SCENARIOS",
@@ -70,6 +86,7 @@ __all__ = [
     "__version__",
     "compose_stream",
     "compose_trace",
+    "default_client",
     "generate_trace",
     "make_kernel",
     "make_scenario",

@@ -43,3 +43,12 @@ class TraceError(ReproError):
 
 class KernelError(ReproError):
     """A guardian kernel was misconfigured or misbehaved."""
+
+
+class StoreError(ReproError):
+    """A persistent result-store entry is unusable or required but
+    missing (see :mod:`repro.service.store`)."""
+
+
+class RunCancelled(ReproError):
+    """A submitted run was cancelled before it produced a record."""

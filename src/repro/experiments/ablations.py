@@ -22,7 +22,8 @@ from repro.analysis.report import format_table
 from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxStyle
 from repro.experiments.common import workload_rows
-from repro.runner import RunSpec, default_runner
+from repro.runner import RunSpec
+from repro.service import default_client
 from repro.utils.stats import geomean
 
 DEFAULT_BENCHMARKS = ("swaptions", "dedup", "x264")
@@ -49,8 +50,8 @@ def _geomean_slowdown(kernel_name: str, config: FireGuardConfig,
                      block_size=block_size, scenario=scen,
                      stream=stream)
              for label, scen in workload_rows(benchmarks, scenario)]
-    records = default_runner().run(specs)
-    return geomean([record.slowdown for record in records])
+    return geomean([record.slowdown
+                    for record in default_client().map(specs)])
 
 
 def isax_ablation(benchmarks=DEFAULT_BENCHMARKS, scenario=None,

@@ -2,17 +2,22 @@
 
 The harnesses are thin now: each one builds a batch of
 :class:`~repro.runner.spec.RunSpec` and submits it to the shared
-:func:`~repro.runner.runner.default_runner`, which memoises records
-per spec (overlapping figures simulate a configuration once) and fans
-out over worker processes when ``REPRO_WORKERS`` > 1.
+:func:`~repro.service.client.default_client`, which memoises records
+per spec (overlapping figures simulate a configuration once), reads
+through the persistent result store when ``REPRO_RESULT_STORE`` is
+set (a warm rerun of a figure simulates nothing), and fans out over
+worker processes when ``REPRO_WORKERS`` > 1.
 
-``run_monitored`` survives as a one-spec convenience wrapper for
-callers that want a single (result, baseline) pair.
+:func:`run_cells` keeps the batch shape the table-building harnesses
+want; :func:`stream_cells` yields ``(label, record)`` pairs as runs
+complete, for harnesses that render incrementally.  ``run_monitored``
+survives as a one-spec convenience wrapper for callers that want a
+single (result, baseline) pair.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.isax import IsaxStyle
 from repro.core.system import SystemResult
@@ -22,11 +27,10 @@ from repro.runner import (
     DEFAULT_TRACE_LEN,
     RunRecord,
     RunSpec,
-    SweepRunner,
-    default_runner,
     trace_length,
 )
 from repro.runner import worker as _worker
+from repro.service import Client, default_client
 from repro.trace.record import Trace
 from repro.trace.scenario import Scenario
 
@@ -36,8 +40,10 @@ __all__ = [
     "baseline_cycles",
     "cached_trace",
     "make_spec",
+    "resolve_client",
     "run_cells",
     "run_monitored",
+    "stream_cells",
     "trace_length",
     "workload_rows",
 ]
@@ -98,16 +104,41 @@ def make_spec(benchmark: str, kernel_names: tuple[str, ...],
                    stream=stream)
 
 
+def resolve_client(client: Any = None) -> Client:
+    """The execution client a harness should use: an explicit
+    :class:`~repro.service.client.Client`, a legacy ``SweepRunner``
+    (unwrapped to its client), or the process-wide default."""
+    if client is None:
+        return default_client()
+    if isinstance(client, Client):
+        return client
+    inner = getattr(client, "_client", None)  # SweepRunner facade
+    if isinstance(inner, Client):
+        return inner
+    raise TypeError(f"expected a Client (or SweepRunner), "
+                    f"got {type(client).__name__}")
+
+
+def stream_cells(cells: Sequence[tuple[Any, RunSpec]],
+                 client: Any = None,
+                 ) -> Iterator[tuple[Any, RunRecord]]:
+    """Submit labelled specs and yield ``(label, record)`` pairs in
+    submission order, each as soon as it completes — the incremental
+    path every table harness is built on."""
+    client = resolve_client(client)
+    labels = [label for label, _ in cells]
+    for label, record in zip(labels,
+                             client.map([spec for _, spec in cells])):
+        yield label, record
+
+
 def run_cells(cells: Sequence[tuple[Any, RunSpec]],
-              runner: SweepRunner | None = None,
+              client: Any = None,
               ) -> list[tuple[Any, RunRecord]]:
     """Run labelled specs as one batch; ``(label, record)`` pairs come
     back in submission order, so harnesses never maintain separate
     label and spec lists that must stay index-aligned."""
-    runner = runner or default_runner()
-    records = runner.run([spec for _, spec in cells])
-    return [(label, record)
-            for (label, _), record in zip(cells, records)]
+    return list(stream_cells(cells, client))
 
 
 def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
@@ -121,7 +152,7 @@ def run_monitored(benchmark: str, kernel_names: tuple[str, ...],
                   scenario: "Scenario | str | None" = None,
                   stream: bool = False) -> tuple[SystemResult, int]:
     """Run one FireGuard configuration; returns (result, baseline)."""
-    record = default_runner().run_one(make_spec(
+    record = default_client().run_one(make_spec(
         benchmark, kernel_names, engines_per_kernel=engines_per_kernel,
         accelerated=accelerated, filter_width=filter_width,
         strategy=strategy, isax_style=isax_style, seed=seed,

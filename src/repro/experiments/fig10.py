@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
 from repro.experiments.common import make_spec, run_cells, workload_rows
-from repro.runner import SweepRunner
+from repro.service import Client
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario
 
@@ -29,7 +29,7 @@ def run(kernel_name: str,
         counts: tuple[int, ...] | None = None,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> SlowdownTable:
+        client: Client | None = None) -> SlowdownTable:
     counts = counts or SWEEPS[kernel_name]
     rows = workload_rows(benchmarks, scenario)
     cells = [((label, count),
@@ -38,7 +38,7 @@ def run(kernel_name: str,
                         stream=stream))
              for label, scen in rows for count in counts]
     table = SlowdownTable([label for label, _ in rows])
-    for (label, count), record in run_cells(cells, runner):
+    for (label, count), record in run_cells(cells, client):
         table.record(label, f"{count}uc", record.slowdown)
     return table
 

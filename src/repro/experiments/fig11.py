@@ -13,7 +13,7 @@ from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
 from repro.experiments.common import make_spec, run_cells, workload_rows
 from repro.kernels.base import KernelStrategy
-from repro.runner import SweepRunner
+from repro.service import Client
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario
 
@@ -22,7 +22,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         num_engines: int = 4,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> SlowdownTable:
+        client: Client | None = None) -> SlowdownTable:
     rows = workload_rows(benchmarks, scenario)
     cells = [((label, strategy),
               make_spec(label, ("pmc",), engines_per_kernel=num_engines,
@@ -30,7 +30,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
                         stream=stream))
              for label, scen in rows for strategy in KernelStrategy]
     table = SlowdownTable([label for label, _ in rows])
-    for (label, strategy), record in run_cells(cells, runner):
+    for (label, strategy), record in run_cells(cells, client):
         table.record(label, strategy.value, record.slowdown)
     return table
 

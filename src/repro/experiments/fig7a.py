@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
 from repro.experiments.common import make_spec, run_cells, workload_rows
-from repro.runner import RunSpec, SweepRunner
+from repro.runner import RunSpec
+from repro.service import Client
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario
 
@@ -36,7 +37,7 @@ SOFTWARE_COLUMNS = (
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> SlowdownTable:
+        client: Client | None = None) -> SlowdownTable:
     rows = workload_rows(benchmarks, scenario)
     cells = []
     for label, scen in rows:
@@ -51,7 +52,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
                           RunSpec(benchmark=label, software=scheme,
                                   scenario=scen)))
     table = SlowdownTable([label for label, _ in rows])
-    for (label, column), record in run_cells(cells, runner):
+    for (label, column), record in run_cells(cells, client):
         table.record(label, column, record.slowdown)
     return table
 

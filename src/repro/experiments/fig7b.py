@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
 from repro.experiments.common import make_spec, run_cells, workload_rows
-from repro.runner import SweepRunner
+from repro.service import Client
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario
 
@@ -31,7 +31,7 @@ COMBINATIONS: tuple[tuple[str, tuple[str, ...], frozenset[str]], ...] = (
 def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> SlowdownTable:
+        client: Client | None = None) -> SlowdownTable:
     rows = workload_rows(benchmarks, scenario)
     cells = [((label, column),
               make_spec(label, kernels, accelerated=accelerated,
@@ -39,7 +39,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
              for label, scen in rows
              for column, kernels, accelerated in COMBINATIONS]
     table = SlowdownTable([label for label, _ in rows])
-    for (label, column), record in run_cells(cells, runner):
+    for (label, column), record in run_cells(cells, client):
         table.record(label, column, record.slowdown)
     return table
 

@@ -14,14 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.experiments.common import resolve_client
 from repro.kernels.pmc import DEFAULT_BOUND_HI, DEFAULT_BOUND_LO
-from repro.runner import (
-    AttackPlan,
-    RunRecord,
-    RunSpec,
-    SweepRunner,
-    default_runner,
-)
+from repro.runner import AttackPlan, RunRecord, RunSpec
+from repro.service import Client, default_client
 from repro.trace.attacks import AttackKind
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario, make_scenario
@@ -91,7 +87,7 @@ def _latency_row(record: RunRecord) -> LatencyRow:
 def run_one(benchmark: str, kernel_name: str, kind: AttackKind,
             attacks: int = 50, seed: int = 23,
             length: int = 12000) -> LatencyRow:
-    record = default_runner().run_one(attack_spec(
+    record = default_client().run_one(attack_spec(
         benchmark, kernel_name, kind, attacks, seed, length))
     return _latency_row(record)
 
@@ -100,8 +96,8 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         attacks: int = 50,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> list[LatencyRow]:
-    runner = runner or default_runner()
+        client: Client | None = None) -> list[LatencyRow]:
+    client = resolve_client(client)
     if scenario is not None:
         label = scenario if isinstance(scenario, str) else scenario.name
         benchmarks = (label,)
@@ -109,7 +105,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
                          scenario=scenario, stream=stream)
              for bench in benchmarks
              for kernel_name, kind in KERNEL_ATTACKS]
-    return [_latency_row(record) for record in runner.run(specs)]
+    return [_latency_row(record) for record in client.map(specs)]
 
 
 def main() -> str:

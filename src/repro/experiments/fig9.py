@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.bottleneck import BottleneckReport, bottleneck_report
 from repro.analysis.report import format_table
 from repro.experiments.common import make_spec, run_cells, workload_rows
-from repro.runner import SweepRunner
+from repro.service import Client
 from repro.trace.profiles import PARSEC_BENCHMARKS
 from repro.trace.scenario import Scenario
 from repro.utils.stats import geomean
@@ -24,7 +24,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
         num_engines: int = 4,
         scenario: "Scenario | str | None" = None,
         stream: bool = False,
-        runner: SweepRunner | None = None) -> list[BottleneckReport]:
+        client: Client | None = None) -> list[BottleneckReport]:
     rows = workload_rows(benchmarks, scenario)
     cells = [((width, label),
               make_spec(label, ("asan",),
@@ -34,7 +34,7 @@ def run(benchmarks: tuple[str, ...] = PARSEC_BENCHMARKS,
              for width in FILTER_WIDTHS for label, scen in rows]
     return [bottleneck_report(label, width, record.result,
                               record.baseline_cycles, num_engines)
-            for (width, label), record in run_cells(cells, runner)]
+            for (width, label), record in run_cells(cells, client)]
 
 
 def width_geomeans(reports: list[BottleneckReport]) -> dict[int, float]:

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.runner import RunSpec, SweepRunner, default_runner, \
-    trace_length
+from repro.experiments.common import resolve_client
+from repro.runner import RunSpec, trace_length
+from repro.service import Client
 from repro.trace.scenario import SCENARIO_NAMES, make_scenario
 
 DEFAULT_KERNELS: tuple[str, ...] = ("shadow_stack", "asan")
@@ -40,8 +41,8 @@ def run(scenario_names: tuple[str, ...] = SCENARIO_NAMES,
         kernels: tuple[str, ...] = DEFAULT_KERNELS,
         engines_per_kernel: int = 2,
         stream: bool = True,
-        runner: SweepRunner | None = None) -> list[ScenarioRow]:
-    runner = runner or default_runner()
+        client: Client | None = None) -> list[ScenarioRow]:
+    client = resolve_client(client)
     # Clamp the REPRO_TRACE_LEN scaling so every phase keeps room for
     # its attack mix (UaF needs ~2600 records of quarantine ageing).
     specs = [RunSpec(benchmark=name, kernels=(kernel,),
@@ -51,7 +52,7 @@ def run(scenario_names: tuple[str, ...] = SCENARIO_NAMES,
                                 make_scenario(name).min_total()))
              for name in scenario_names for kernel in kernels]
     rows = []
-    for record in runner.run(specs):
+    for record in client.map(specs):
         rows.append(ScenarioRow(
             scenario=record.spec.benchmark,
             kernel=record.spec.kernels[0],

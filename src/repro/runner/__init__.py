@@ -1,20 +1,24 @@
-"""Parallel sweep runner (DESIGN.md: runner layer).
+"""Declarative run specs and the execution backend (DESIGN.md:
+runner layer).
 
-Declarative experiment execution over the session layer::
+Specs are hashable descriptions of a run::
 
-    from repro.runner import RunSpec, SweepRunner, sweep
+    from repro.runner import RunSpec, sweep
+    from repro.service import Client
 
     specs = sweep(("swaptions", "dedup"),
                   kernels=[("pmc",), ("asan",)],
                   engines_per_kernel=[2, 4, 8])
-    records = SweepRunner(workers=4).run(specs)
-    for record in records:
+    for record in Client(workers=4).map(specs):
         print(record.spec.benchmark, record.slowdown)
 
-Specs are hashable descriptions of a run; the runner memoises records
-by deterministic cache key and fans uncached work out over processes,
+Execution goes through :mod:`repro.service`: the async ``Client``
+memoises records in memory, reads through the persistent result store
+(``REPRO_RESULT_STORE``), and fans uncached work out over processes,
 each of which builds every distinct system once and resets its session
-between traces.
+between traces (:mod:`repro.runner.worker`).  The blocking
+``SweepRunner`` facade is kept for backward compatibility and is
+deprecated.
 """
 
 from repro.runner.runner import SweepRunner, default_runner, default_workers
@@ -27,7 +31,7 @@ from repro.runner.spec import (
     sweep,
     trace_length,
 )
-from repro.runner.worker import execute_spec
+from repro.runner.worker import execute_spec, simulations_executed
 
 __all__ = [
     "AttackPlan",
@@ -39,6 +43,7 @@ __all__ = [
     "default_runner",
     "default_workers",
     "execute_spec",
+    "simulations_executed",
     "sweep",
     "trace_length",
 ]

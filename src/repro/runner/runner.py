@@ -1,118 +1,77 @@
-"""The sweep runner: cached, optionally parallel spec execution.
+"""Deprecated batch facade over the service client.
 
-``SweepRunner.run`` takes an ordered list of
-:class:`~repro.runner.spec.RunSpec` and returns matching
-:class:`~repro.runner.spec.RunRecord` in the same order.  Results are
-memoised per spec (deterministic ``cache_key``), so overlapping
-sweeps — e.g. the asan/4-µcore point shared by Figs 7a, 9 and 10 —
-simulate once per process.
+``SweepRunner`` was the original top-level execution API: a blocking
+``run(specs) -> records`` with per-process memoisation and a
+``ProcessPoolExecutor`` fan-out.  That machinery now lives behind
+:class:`repro.service.client.Client`, which adds what the batch API
+could not express — ``submit`` returning immediately, incremental
+streaming via ``map``/``as_completed``, a persistent cross-process
+result store, and cooperative cancellation.
 
-With ``workers > 1`` the uncached specs fan out over a
-``ProcessPoolExecutor``; the per-process caches in
-:mod:`repro.runner.worker` give each worker the build-once/run-many
-benefit, and chunked submission keeps consecutive same-system specs
-on the same worker.  Results are deterministic regardless of worker
-count because every run starts from a reset session.
+This module keeps the old names working as a thin shim: ``SweepRunner``
+wraps a private client and preserves the historical contract exactly
+(records in submission order, duplicate specs in a batch run once,
+``run_one`` answered from the memo cache by identity).  New code
+should use :class:`~repro.service.client.Client` directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+import warnings
+from typing import Sequence
 
 from repro.runner.spec import RunRecord, RunSpec
-from repro.runner.worker import execute_spec, execute_specs
+from repro.service.client import Client, _env_workers, default_client
 
 
 def default_workers() -> int:
     """Worker count from ``REPRO_WORKERS`` (default 1 = in-process)."""
-    return int(os.environ.get("REPRO_WORKERS", "1"))
+    return _env_workers()
 
 
 class SweepRunner:
-    """Executes spec batches with memoisation and parallel fan-out."""
+    """Deprecated: use :class:`repro.service.client.Client`.
 
-    def __init__(self, workers: int | None = None,
-                 cache: bool = True):
-        self.workers = workers
-        self._cache: dict[str, RunRecord] | None = {} if cache else None
+    Executes spec batches with memoisation and parallel fan-out; a
+    blocking facade over the async client (including the persistent
+    ``REPRO_RESULT_STORE`` read-through the client gained).
+    """
 
-    def _resolved_workers(self, pending: int) -> int:
-        workers = self.workers if self.workers is not None \
-            else default_workers()
-        return max(1, min(workers, pending))
+    def __init__(self, workers: int | None = None, cache: bool = True,
+                 client: Client | None = None):
+        warnings.warn(
+            "SweepRunner is deprecated; submit specs through "
+            "repro.service.Client (submit/map/as_completed)",
+            DeprecationWarning, stacklevel=2)
+        self._client = client if client is not None \
+            else Client(workers=workers, cache=cache)
+
+    @property
+    def workers(self) -> int | None:
+        return self._client.workers
 
     def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
         """Execute ``specs``; returns records in submission order."""
-        specs = list(specs)
-        keys = [spec.cache_key() for spec in specs]
-        records: dict[int, RunRecord] = {}
-        pending: list[tuple[int, RunSpec]] = []
-        claimed: set[str] = set()
-        for index, (spec, key) in enumerate(zip(specs, keys)):
-            cached = None if self._cache is None else self._cache.get(key)
-            if cached is not None:
-                records[index] = cached
-            elif key in claimed:
-                continue  # duplicate within this batch: run once
-            else:
-                claimed.add(key)
-                pending.append((index, spec))
-
-        if pending:
-            workers = self._resolved_workers(len(pending))
-            if workers > 1:
-                # Group same-system specs so a chunk lands its whole
-                # run of builds on one worker (records are re-keyed by
-                # index below, so reordering is invisible to callers).
-                pending.sort(
-                    key=lambda item: repr(item[1].system_key()))
-            fresh = self._execute(
-                [spec for _, spec in pending], workers)
-            for (index, spec), record in zip(pending, fresh):
-                records[index] = record
-                if self._cache is not None:
-                    self._cache[keys[index]] = record
-
-        # Fill batch-internal duplicates from the freshly run copies.
-        by_key = {keys[i]: rec for i, rec in records.items()}
-        return [records.get(i) or by_key[keys[i]]
-                for i in range(len(specs))]
+        records = self._client.run(list(specs))
+        if self._client._resolved_workers() > 1:
+            # Historical contract: the parallel runner opened one pool
+            # per batch; don't leave idle worker processes behind.
+            self._client.shrink()
+        return records
 
     def run_one(self, spec: RunSpec) -> RunRecord:
-        return self.run([spec])[0]
-
-    def _execute(self, specs: list[RunSpec],
-                 workers: int) -> list[RunRecord]:
-        if workers <= 1:
-            return [execute_spec(spec) for spec in specs]
-        # Specs arrive sorted by system key.  Each task is one
-        # same-system group (split only when a group exceeds the
-        # load-balancing target), so a worker pays each expensive
-        # system build exactly once per group it receives.
-        target = max(1, -(-len(specs) // (workers * 2)))
-        chunks: list[list[RunSpec]] = []
-        start = 0
-        for end in range(1, len(specs) + 1):
-            if end == len(specs) or specs[end].system_key() \
-                    != specs[start].system_key():
-                group = specs[start:end]
-                chunks.extend(group[i:i + target]
-                              for i in range(0, len(group), target))
-                start = end
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            batches = pool.map(execute_specs, chunks)
-            return [record for batch in batches for record in batch]
+        return self._client.run_one(spec)
 
 
 _DEFAULT_RUNNER: SweepRunner | None = None
 
 
 def default_runner() -> SweepRunner:
-    """Process-wide shared runner: one result cache for every harness,
-    so figures that revisit a configuration reuse its record."""
+    """Deprecated facade over :func:`repro.service.default_client`:
+    the same process-wide record cache, behind the old blocking API."""
     global _DEFAULT_RUNNER
     if _DEFAULT_RUNNER is None:
-        _DEFAULT_RUNNER = SweepRunner()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            _DEFAULT_RUNNER = SweepRunner(client=default_client())
     return _DEFAULT_RUNNER

@@ -16,13 +16,16 @@ from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Any, Iterable
 
+from repro.baselines import SCHEMES
 from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxStyle
 from repro.core.system import SystemResult
 from repro.errors import ConfigError
+from repro.kernels import KERNELS
 from repro.kernels.base import KernelStrategy
 from repro.trace.attacks import AttackPlan
-from repro.trace.scenario import Scenario
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.scenario import SCENARIOS, Scenario
 
 __all__ = ["AttackPlan", "RunRecord", "RunSpec", "sweep", "trace_length"]
 
@@ -99,6 +102,28 @@ class RunSpec:
         if not isinstance(self.accelerated, frozenset):
             object.__setattr__(self, "accelerated",
                                frozenset(self.accelerated))
+        # Name lookups fail here, at construction, rather than minutes
+        # later inside a sweep worker.
+        for name in self.kernels:
+            if name not in KERNELS:
+                raise ConfigError(
+                    f"RunSpec.kernels: unknown kernel {name!r}; "
+                    f"available: {sorted(KERNELS)}")
+        if self.software is not None and self.software not in SCHEMES:
+            raise ConfigError(
+                f"RunSpec.software: unknown instrumentation scheme "
+                f"{self.software!r}; available: {sorted(SCHEMES)}")
+        if isinstance(self.scenario, str) \
+                and self.scenario not in SCENARIOS:
+            raise ConfigError(
+                f"RunSpec.scenario: unknown scenario "
+                f"{self.scenario!r}; available: {sorted(SCENARIOS)}")
+        if self.scenario is None \
+                and self.benchmark not in PARSEC_PROFILES:
+            raise ConfigError(
+                f"RunSpec.benchmark: unknown workload "
+                f"{self.benchmark!r}; available: "
+                f"{sorted(PARSEC_PROFILES)} (or set scenario=)")
 
     # -- derived keys ------------------------------------------------------
     def resolved_length(self) -> int:

@@ -23,6 +23,19 @@ trace cache maps spec workload keys to digests — two specs that
 compose identical bytes share one file, and the digest is the
 determinism witness the cross-worker tests compare
 (``RunRecord.trace_digest``).
+
+On top of the per-process caches sits the *persistent* layer:
+:func:`execute_spec` reads through and writes back a
+:class:`~repro.service.store.ResultStore` (explicit argument, or the
+directory named by ``REPRO_RESULT_STORE``), so identical
+configurations are simulated once per store, not once per process.
+``REPRO_REQUIRE_STORE_HIT=1`` turns a store miss into a
+:class:`~repro.errors.StoreError` — CI's warm-store job uses it to
+prove a second pass over a figure grid simulates nothing.  The
+``cancel`` hook makes long submissions abortable: the zero-argument
+callable is polled at the expensive boundaries (before trace
+materialisation, before the baseline run, before the monitored run)
+and a True return raises :class:`~repro.errors.RunCancelled`.
 """
 
 from __future__ import annotations
@@ -32,8 +45,10 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from repro.baselines import SCHEMES, instrument_trace
+from repro.errors import RunCancelled, StoreError
 from repro.core.system import FireGuardSystem
 from repro.kernels import make_kernel
 from repro.ooo.core import MainCore
@@ -51,6 +66,16 @@ from repro.trace.scenario import (
 )
 from repro.trace.stream import StreamedTrace, TraceWriter
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.store import ResultStore
+
+#: ``store=`` sentinel: resolve the store from ``REPRO_RESULT_STORE``.
+ENV_STORE = object()
+
+#: ``REPRO_REQUIRE_STORE_HIT=1`` forbids simulation: every spec must be
+#: answered by the result store (the warm-rerun assertion).
+ENV_REQUIRE_HIT = "REPRO_REQUIRE_STORE_HIT"
+
 # Per-process caches (worker lifetime).
 _SESSIONS: dict[tuple, SimulationSession] = {}
 _TRACES: dict[tuple, Trace] = {}
@@ -66,6 +91,41 @@ _STREAMED: dict[tuple, tuple[str, int]] = {}
 
 _SPOOL_DIR: Path | None = None
 _SPOOL_SEQ = 0
+
+# Simulations actually executed by this process (store hits excluded):
+# the witness the warm-store tests assert stays at zero.
+_SIM_EXECUTIONS = 0
+
+# Lazily resolved REPRO_RESULT_STORE store (False = not resolved yet).
+_ENV_STORE_CACHE: "ResultStore | None | bool" = False
+
+
+def simulations_executed() -> int:
+    """How many specs this process simulated (rather than answered
+    from the persistent store or a cache)."""
+    return _SIM_EXECUTIONS
+
+
+def _resolve_store(store) -> "ResultStore | None":
+    """Normalise the ``store=`` argument: an explicit store instance,
+    ``None``/``False`` to disable, or :data:`ENV_STORE` to read
+    ``REPRO_RESULT_STORE`` once per process."""
+    global _ENV_STORE_CACHE
+    if store is not ENV_STORE:
+        return None if (store is None or store is False) else store
+    if _ENV_STORE_CACHE is False:
+        from repro.service.store import ResultStore
+
+        _ENV_STORE_CACHE = ResultStore.from_env()
+    return _ENV_STORE_CACHE
+
+
+def _check_cancel(cancel: Callable[[], bool] | None,
+                  spec: RunSpec) -> None:
+    if cancel is not None and cancel():
+        raise RunCancelled(
+            f"run of {spec.benchmark!r} (key "
+            f"{spec.cache_key()[:12]}…) was cancelled")
 
 
 def _spool_dir() -> Path:
@@ -85,12 +145,15 @@ def _spool_dir() -> Path:
 
 
 def clear_caches() -> None:
-    """Drop every per-process cache (tests and memory control)."""
+    """Drop every per-process cache (tests and memory control), and
+    re-resolve the environment store on next use."""
+    global _ENV_STORE_CACHE
     _SESSIONS.clear()
     _TRACES.clear()
     _BASELINES.clear()
     _SCENARIO_TRACES.clear()
     _STREAMED.clear()
+    _ENV_STORE_CACHE = False
 
 
 def cached_trace(benchmark: str, seed: int, length: int) -> Trace:
@@ -317,22 +380,43 @@ def _run_software(spec: RunSpec, trace: Trace) -> "SystemResult":
                         stall_backpressure=0)
 
 
-def execute_spec(spec: RunSpec) -> RunRecord:
-    """Execute one spec in this process and return its record."""
+def execute_spec(spec: RunSpec, store=ENV_STORE,
+                 cancel: Callable[[], bool] | None = None) -> RunRecord:
+    """Execute one spec in this process and return its record.
+
+    ``store`` — a :class:`~repro.service.store.ResultStore` to read
+    through and write back, ``None``/``False`` to disable persistence,
+    or the default :data:`ENV_STORE` to honour ``REPRO_RESULT_STORE``.
+    ``cancel`` — optional zero-argument callable polled at the
+    expensive boundaries; returning True raises
+    :class:`~repro.errors.RunCancelled`.
+    """
+    global _SIM_EXECUTIONS
+    _check_cancel(cancel, spec)
+    resolved = _resolve_store(store)
+    key = spec.cache_key() if resolved is not None else None
+    if resolved is not None:
+        record = resolved.get(key)
+        if record is not None:
+            return record
+    if os.environ.get(ENV_REQUIRE_HIT) == "1":
+        raise StoreError(
+            f"{ENV_REQUIRE_HIT}=1 but spec {spec.cache_key()[:12]}… "
+            f"({spec.benchmark!r}) missed the result store"
+            + ("" if resolved is not None
+               else " (no store is configured)"))
+    _SIM_EXECUTIONS += 1
     trace, injected, digest = _trace_for(spec)
+    _check_cancel(cancel, spec)
     baseline = _baseline_for(spec, trace) if spec.need_baseline else 0
+    _check_cancel(cancel, spec)
     if spec.software is not None:
         result = _run_software(spec, trace)
     else:
         result = _session_for(spec).run(trace)
-    return RunRecord(spec=spec, result=result, baseline_cycles=baseline,
-                     injected_attacks=injected, trace_digest=digest)
-
-
-def execute_specs(specs: list[RunSpec]) -> list[RunRecord]:
-    """Execute a batch of specs in order in this process.
-
-    The pool backend submits one same-system group per task, so the
-    whole group shares this worker's built system via session reset.
-    """
-    return [execute_spec(spec) for spec in specs]
+    record = RunRecord(spec=spec, result=result,
+                       baseline_cycles=baseline,
+                       injected_attacks=injected, trace_digest=digest)
+    if resolved is not None:
+        resolved.put(key, record)
+    return record

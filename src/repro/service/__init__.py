@@ -1,0 +1,58 @@
+"""Service layer (DESIGN.md: service layer).
+
+The top-level execution API: an async :class:`Client` with future-like
+:class:`RunHandle`\\ s, incremental streaming (``map`` /
+``as_completed``) and a persistent content-addressed
+:class:`ResultStore`::
+
+    from repro.service import Client
+    from repro.runner import RunSpec, sweep
+
+    with Client(workers=4, store="results/") as client:
+        handle = client.submit(RunSpec(benchmark="x264",
+                                       kernels=("asan",)))
+        print(handle.done())                  # submission is async
+        specs = sweep(("x264", "dedup"), kernels=("asan",),
+                      engines_per_kernel=[2, 4, 8])
+        for record in client.map(specs):      # streams, in order
+            print(record.spec.benchmark, record.slowdown)
+
+A warm rerun against the same store executes zero simulations
+(``client.stats.executed == 0``); records loaded from the store are
+bit-identical to the simulations that produced them.
+"""
+
+from repro.service.client import (
+    Client,
+    ClientStats,
+    RunHandle,
+    default_client,
+)
+from repro.service.serialization import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    dumps_record,
+    loads_record,
+    record_from_dict,
+    record_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.service.store import ResultStore, StoreWarning
+
+__all__ = [
+    "Client",
+    "ClientStats",
+    "ResultStore",
+    "RunHandle",
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
+    "StoreWarning",
+    "default_client",
+    "dumps_record",
+    "loads_record",
+    "record_from_dict",
+    "record_to_dict",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,296 @@
+"""Versioned, canonical JSON codec for specs and records.
+
+The persistent :class:`~repro.service.store.ResultStore` keeps one
+JSON document per executed :class:`~repro.runner.spec.RunSpec`; this
+module defines that document.  Three properties matter:
+
+* **Round-trip exactness** — ``record_from_dict(record_to_dict(r))``
+  compares equal to ``r`` field for field (dataclass equality), so a
+  warm store hit is bit-identical to the simulation it replaces.  Ints
+  stay ints (JSON object keys that encode integer ids are re-parsed),
+  enums come back as the same members, frozen dataclasses
+  (``FireGuardConfig``, ``Scenario`` phases, custom workload profiles)
+  are rebuilt from their fields.
+* **Byte stability** — :func:`canonical_dumps` sorts object keys and
+  serializes set-like fields in sorted order, so the same record
+  produces the same bytes under any ``PYTHONHASHSEED``.  The store's
+  concurrent-writer story leans on this: two workers racing on one key
+  write identical files, so whichever ``os.replace`` lands last
+  changes nothing.
+* **Versioning** — every document is stamped with
+  :data:`SCHEMA_VERSION`; loading a document with a different stamp
+  raises :class:`SchemaMismatchError`, which the store treats as a
+  miss (forces a re-run) rather than a corruption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import Alert, SystemResult
+from repro.errors import StoreError
+from repro.kernels.base import KernelStrategy
+from repro.runner.spec import RunRecord, RunSpec
+from repro.trace.attacks import AttackKind, AttackPlan
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.scenario import Phase, Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
+    "canonical_dumps",
+    "dumps_record",
+    "loads_record",
+    "record_from_dict",
+    "record_to_dict",
+    "spec_from_dict",
+    "spec_to_dict",
+]
+
+#: Bump whenever the document layout changes incompatibly; stored
+#: entries with any other stamp are ignored (re-run), never reused.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatchError(StoreError):
+    """The entry was written under a different schema version."""
+
+
+def canonical_dumps(payload: dict) -> bytes:
+    """The one serialization every writer uses: sorted keys, compact
+    separators, ASCII — identical input, identical bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True).encode("ascii")
+
+
+# -- leaf codecs -------------------------------------------------------------
+
+def _plan_to_dict(plan: AttackPlan) -> dict:
+    return {"kind": plan.kind.name, "count": plan.count,
+            "pmc_bounds": list(plan.pmc_bounds)
+            if plan.pmc_bounds is not None else None}
+
+
+def _plan_from_dict(d: dict) -> AttackPlan:
+    bounds = d["pmc_bounds"]
+    return AttackPlan(kind=AttackKind[d["kind"]], count=d["count"],
+                      pmc_bounds=tuple(bounds)
+                      if bounds is not None else None)
+
+
+def _profile_to_dict(profile: WorkloadProfile) -> dict:
+    return asdict(profile)
+
+
+def _phase_to_dict(phase: Phase) -> dict:
+    profile: Any = phase.profile
+    if isinstance(profile, str):
+        profile = {"ref": profile}
+    else:
+        profile = {"custom": _profile_to_dict(profile)}
+    return {"profile": profile, "length": phase.length,
+            "attacks": [_plan_to_dict(p) for p in phase.attacks],
+            "label": phase.label}
+
+
+def _phase_from_dict(d: dict) -> Phase:
+    profile = d["profile"]
+    if "ref" in profile:
+        resolved: str | WorkloadProfile = profile["ref"]
+    else:
+        resolved = WorkloadProfile(**profile["custom"])
+    return Phase(profile=resolved, length=d["length"],
+                 attacks=tuple(_plan_from_dict(p)
+                               for p in d["attacks"]),
+                 label=d["label"])
+
+
+def _scenario_to_dict(scenario: Scenario) -> dict:
+    return {"name": scenario.name,
+            "phases": [_phase_to_dict(p) for p in scenario.phases]}
+
+
+def _scenario_from_dict(d: dict) -> Scenario:
+    return Scenario(name=d["name"],
+                    phases=tuple(_phase_from_dict(p)
+                                 for p in d["phases"]))
+
+
+# -- spec --------------------------------------------------------------------
+
+def spec_to_dict(spec: RunSpec) -> dict:
+    scenario: dict | None = None
+    if isinstance(spec.scenario, str):
+        scenario = {"ref": spec.scenario}
+    elif spec.scenario is not None:
+        scenario = {"inline": _scenario_to_dict(spec.scenario)}
+    return {
+        "benchmark": spec.benchmark,
+        "kernels": list(spec.kernels),
+        "engines_per_kernel": spec.engines_per_kernel,
+        # frozenset: serialized sorted so bytes ignore PYTHONHASHSEED.
+        "accelerated": sorted(spec.accelerated),
+        "strategy": spec.strategy.value,
+        "isax_style": spec.isax_style.value,
+        "config": asdict(spec.config),
+        "block_size": spec.block_size,
+        "seed": spec.seed,
+        "length": spec.length,
+        "attacks": _plan_to_dict(spec.attacks)
+        if spec.attacks is not None else None,
+        "software": spec.software,
+        "need_baseline": spec.need_baseline,
+        "scenario": scenario,
+        "stream": spec.stream,
+    }
+
+
+def spec_from_dict(d: dict) -> RunSpec:
+    scenario: Scenario | str | None = None
+    if d["scenario"] is not None:
+        if "ref" in d["scenario"]:
+            scenario = d["scenario"]["ref"]
+        else:
+            scenario = _scenario_from_dict(d["scenario"]["inline"])
+    return RunSpec(
+        benchmark=d["benchmark"],
+        kernels=tuple(d["kernels"]),
+        engines_per_kernel=d["engines_per_kernel"],
+        accelerated=frozenset(d["accelerated"]),
+        strategy=KernelStrategy(d["strategy"]),
+        isax_style=IsaxStyle(d["isax_style"]),
+        config=FireGuardConfig(**d["config"]),
+        block_size=d["block_size"],
+        seed=d["seed"],
+        length=d["length"],
+        attacks=_plan_from_dict(d["attacks"])
+        if d["attacks"] is not None else None,
+        software=d["software"],
+        need_baseline=d["need_baseline"],
+        scenario=scenario,
+        stream=d["stream"],
+    )
+
+
+# -- result ------------------------------------------------------------------
+
+def _alert_to_dict(alert: Alert) -> dict:
+    return {"engine_id": alert.engine_id, "code": alert.code,
+            "time_ns": alert.time_ns, "attack_id": alert.attack_id,
+            "pc": alert.pc}
+
+
+def _result_to_dict(result: SystemResult) -> dict:
+    return {
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "time_ns": result.time_ns,
+        "stall_backpressure": result.stall_backpressure,
+        # Alerts keep simulation order (deterministic); detections are
+        # an id-keyed dict, serialized as sorted pairs because JSON
+        # keys are strings and dict equality ignores ordering anyway.
+        "alerts": [_alert_to_dict(a) for a in result.alerts],
+        "detections": sorted([k, v] for k, v in
+                             result.detections.items()),
+        "filter_full_cycles": result.filter_full_cycles,
+        "mapper_blocked_cycles": result.mapper_blocked_cycles,
+        "cdc_full_cycles": result.cdc_full_cycles,
+        "msgq_full_cycles": result.msgq_full_cycles,
+        "packets_filtered": result.packets_filtered,
+        "packets_delivered": result.packets_delivered,
+        "engine_instructions": result.engine_instructions,
+        "prf_preemptions": result.prf_preemptions,
+        "noc_words": result.noc_words,
+    }
+
+
+def _result_from_dict(d: dict) -> SystemResult:
+    return SystemResult(
+        cycles=d["cycles"],
+        committed=d["committed"],
+        time_ns=d["time_ns"],
+        stall_backpressure=d["stall_backpressure"],
+        alerts=[Alert(**a) for a in d["alerts"]],
+        detections={int(k): v for k, v in d["detections"]},
+        filter_full_cycles=d["filter_full_cycles"],
+        mapper_blocked_cycles=d["mapper_blocked_cycles"],
+        cdc_full_cycles=d["cdc_full_cycles"],
+        msgq_full_cycles=d["msgq_full_cycles"],
+        packets_filtered=d["packets_filtered"],
+        packets_delivered=d["packets_delivered"],
+        engine_instructions=d["engine_instructions"],
+        prf_preemptions=d["prf_preemptions"],
+        noc_words=d["noc_words"],
+    )
+
+
+# -- record ------------------------------------------------------------------
+
+def record_to_dict(record: RunRecord, key: str | None = None) -> dict:
+    """The full store document.  ``key`` is the cache key the record
+    is filed under; stamping it in the document lets readers verify an
+    entry against its filename without recomputing the key (which
+    would drift for ``length=None`` specs if ``REPRO_TRACE_LEN``
+    changed between write and read)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "key": key if key is not None else record.spec.cache_key(),
+        "spec": spec_to_dict(record.spec),
+        "result": _result_to_dict(record.result),
+        "baseline_cycles": record.baseline_cycles,
+        "injected_attacks": record.injected_attacks,
+        "trace_digest": record.trace_digest,
+    }
+
+
+def record_from_dict(d: dict, expect_key: str | None = None,
+                     ) -> RunRecord:
+    """Decode and validate a store document.
+
+    Raises :class:`SchemaMismatchError` on a version-stamp mismatch
+    (the caller should re-run) and :class:`StoreError` on anything
+    structurally wrong (the caller should quarantine).
+    """
+    if not isinstance(d, dict):
+        raise StoreError(f"store entry is {type(d).__name__}, "
+                         "expected an object")
+    version = d.get("schema")
+    if version != SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"store entry schema {version!r} != {SCHEMA_VERSION}")
+    if expect_key is not None and d.get("key") != expect_key:
+        raise StoreError(
+            f"store entry key {d.get('key')!r} does not match the "
+            f"requested key {expect_key!r}")
+    try:
+        return RunRecord(
+            spec=spec_from_dict(d["spec"]),
+            result=_result_from_dict(d["result"]),
+            baseline_cycles=d["baseline_cycles"],
+            injected_attacks=d["injected_attacks"],
+            trace_digest=d["trace_digest"],
+        )
+    except SchemaMismatchError:
+        raise
+    except Exception as exc:
+        raise StoreError(f"malformed store entry: {exc}") from exc
+
+
+def dumps_record(record: RunRecord, key: str | None = None) -> bytes:
+    """Canonical bytes for a record (what the store writes)."""
+    return canonical_dumps(record_to_dict(record, key=key))
+
+
+def loads_record(data: bytes, expect_key: str | None = None,
+                 ) -> RunRecord:
+    """Parse store bytes back into a record (see
+    :func:`record_from_dict` for the error contract)."""
+    try:
+        payload = json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreError(f"undecodable store entry: {exc}") from exc
+    return record_from_dict(payload, expect_key=expect_key)

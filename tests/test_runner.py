@@ -67,6 +67,30 @@ class TestRunSpec:
         with pytest.raises(ConfigError):
             sweep(("swaptions",), kernels=("pmc",), nonsense=[1, 2])
 
+    def test_unknown_names_fail_at_construction(self):
+        """Satellite: bad names raise a ConfigError naming the field
+        at RunSpec construction, not mid-sweep inside a worker."""
+        with pytest.raises(ConfigError, match="RunSpec.benchmark"):
+            RunSpec(benchmark="nope", kernels=("pmc",))
+        with pytest.raises(ConfigError, match="RunSpec.kernels"):
+            RunSpec(benchmark="swaptions", kernels=("nope",))
+        with pytest.raises(ConfigError, match="RunSpec.software"):
+            RunSpec(benchmark="swaptions", software="nope")
+        with pytest.raises(ConfigError, match="RunSpec.scenario"):
+            RunSpec(benchmark="swaptions", kernels=("pmc",),
+                    scenario="nope")
+
+    def test_scenario_label_benchmark_is_allowed(self):
+        # With a scenario the benchmark only labels the row.
+        spec = RunSpec(benchmark="my-label", kernels=("pmc",),
+                       scenario="boot-then-serve")
+        assert spec.benchmark == "my-label"
+
+    def test_stream_software_conflict_names_fields(self):
+        with pytest.raises(ConfigError, match="stream"):
+            RunSpec(benchmark="swaptions", software="asan_aarch64",
+                    stream=True)
+
 
 class TestExecution:
     def test_matches_direct_system_run(self):

@@ -1,0 +1,250 @@
+"""The async Client: differential identity, streaming, handles,
+cooperative cancellation, warm-store acceptance."""
+
+import threading
+
+import pytest
+
+from repro.core.system import FireGuardSystem
+from repro.errors import RunCancelled, StoreError
+from repro.kernels import make_kernel
+from repro.runner import RunSpec, simulations_executed, sweep
+from repro.runner import worker as runner_worker
+from repro.runner.worker import execute_spec
+from repro.service import Client
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import PARSEC_PROFILES
+
+LEN = 1500
+
+BENCHMARKS = ("swaptions", "dedup")
+KERNEL_SETS = (("pmc",), ("asan", "pmc"))
+
+
+def grid():
+    return [RunSpec(benchmark=bench, kernels=kset, length=LEN)
+            for bench in BENCHMARKS for kset in KERNEL_SETS]
+
+
+def fresh_serial(spec):
+    """The pre-redesign reference path: build a system by hand, run
+    the generated trace once."""
+    trace = generate_trace(PARSEC_PROFILES[spec.benchmark],
+                           seed=spec.seed, length=LEN)
+    system = FireGuardSystem(
+        [make_kernel(k) for k in spec.kernels],
+        engines_per_kernel={k: spec.engines_per_kernel
+                            for k in spec.kernels})
+    return system.run(trace)
+
+
+class TestDifferentialIdentity:
+    """Acceptance: records produced through the Client — serial
+    backend, 2-worker pool backend, and a store round trip — are
+    bit-identical to the pre-redesign direct path over a
+    benchmark × kernel-set grid."""
+
+    def test_serial_backend_matches_fresh_serial(self):
+        with Client(workers=1, store=False, cache=False) as client:
+            for spec, record in zip(grid(), client.map(grid())):
+                assert record.result == fresh_serial(spec), \
+                    (spec.benchmark, spec.kernels)
+
+    def test_pool_backend_matches_serial_backend(self):
+        with Client(workers=1, store=False, cache=False) as serial:
+            one = serial.run(grid())
+        with Client(workers=2, store=False, cache=False) as pool:
+            two = pool.run(grid())
+        assert one == two
+
+    def test_store_round_trip_is_bit_identical(self, tmp_path):
+        with Client(workers=1, store=tmp_path / "s",
+                    cache=False) as cold:
+            direct = cold.run(grid())
+        runner_worker.clear_caches()
+        with Client(workers=1, store=tmp_path / "s",
+                    cache=False) as warm:
+            loaded = warm.run(grid())
+            assert warm.stats.executed == 0
+        assert loaded == direct
+        for record in loaded:
+            assert record.slowdown >= 1.0
+
+
+class TestWarmFigureGrid:
+    def test_full_figure_grid_warm_rerun_zero_simulations(
+            self, tmp_path):
+        """Acceptance: a warm-store rerun of a whole figure grid
+        performs zero simulations, asserted by the worker's own
+        simulation counter as well as the client's dispatch stats."""
+        from repro.experiments import fig11
+
+        store = tmp_path / "store"
+        with Client(workers=1, store=store) as cold:
+            table = fig11.run(benchmarks=("swaptions",), client=cold)
+        runner_worker.clear_caches()
+        before = simulations_executed()
+        with Client(workers=1, store=store) as warm:
+            again = fig11.run(benchmarks=("swaptions",), client=warm)
+            assert warm.stats.executed == 0
+        assert simulations_executed() == before
+        assert again.rows() == table.rows()
+
+
+class TestHandlesAndStreaming:
+    def test_submit_returns_a_live_handle(self):
+        with Client(workers=1, store=False) as client:
+            handle = client.submit(grid()[0])
+            record = handle.result(timeout=120)
+            assert handle.done()
+            assert not handle.cancelled()
+            assert record.spec == grid()[0]
+            # Same key again: answered from memory, already done.
+            again = client.submit(grid()[0])
+            assert again.done()
+            assert again.source == "memory"
+            assert again.result() is record
+
+    def test_map_streams_in_submission_order(self):
+        specs = grid()
+        with Client(workers=1, store=False) as client:
+            seen = [r.spec for r in client.map(specs)]
+        assert seen == specs
+
+    def test_as_completed_yields_every_handle(self):
+        specs = grid()
+        with Client(workers=1, store=False) as client:
+            done = list(client.as_completed(specs))
+        assert sorted(h.spec.benchmark for h in done) \
+            == sorted(s.benchmark for s in specs)
+        assert all(h.done() for h in done)
+
+    def test_duplicate_submissions_coalesce(self):
+        spec = grid()[0]
+        with Client(workers=1, store=False, cache=False) as client:
+            handles = client.submit_many([spec, spec, spec])
+            records = [h.result() for h in handles]
+        assert records[0] == records[1] == records[2]
+        assert client.stats.executed == 1
+        assert client.stats.coalesced == 2
+
+    def test_run_one_memoised_by_identity(self):
+        spec = grid()[0]
+        with Client(workers=1, store=False) as client:
+            assert client.run_one(spec) is client.run_one(spec)
+
+
+class TestCancellation:
+    def test_worker_checkpoint_raises(self):
+        spec = grid()[0]
+        with pytest.raises(RunCancelled, match="cancelled"):
+            execute_spec(spec, store=False, cancel=lambda: True)
+
+    def test_cancel_before_start_never_runs(self):
+        """Occupy the single worker thread, queue a spec behind it,
+        cancel the queued handle: it must never simulate."""
+        spec = RunSpec(benchmark="x264", kernels=("asan",), length=LEN)
+        gate = threading.Event()
+        with Client(workers=1, store=False) as client:
+            client._ensure_executor().submit(gate.wait, 30)
+            before = simulations_executed()
+            handle = client.submit(spec)
+            assert handle.cancel()
+            gate.set()
+            with pytest.raises(RunCancelled):
+                handle.result(timeout=30)
+            assert handle.cancelled()
+            assert handle.done()
+        assert simulations_executed() == before
+        assert client.stats.cancel_requests == 1
+
+    def test_cooperative_cancel_mid_flight(self, monkeypatch):
+        """Cancelling a handle that is already RUNNING reaches the
+        worker's cooperative checkpoint and aborts the simulation.
+        Deterministic: the executing task is held at a gate until the
+        cancel request has been filed."""
+        import repro.service.client as client_mod
+
+        started = threading.Event()
+        release = threading.Event()
+        real = client_mod.execute_spec
+
+        def gated(spec, store=None, cancel=None):
+            started.set()
+            assert release.wait(30)
+            return real(spec, store=store, cancel=cancel)
+
+        monkeypatch.setattr(client_mod, "execute_spec", gated)
+        spec = grid()[0]
+        before = simulations_executed()
+        with Client(workers=1, store=False, cache=False) as client:
+            handle = client.submit(spec)
+            assert started.wait(30)
+            assert handle.running()       # genuinely executing
+            assert handle.cancel()
+            release.set()
+            with pytest.raises(RunCancelled, match="cancelled"):
+                handle.result(timeout=60)
+            assert handle.cancelled()
+        # The first checkpoint fired before any simulation happened.
+        assert simulations_executed() == before
+
+    def test_pool_chunk_honours_cancel_markers(self, tmp_path):
+        """The pool-side unit of work polls the cancel directory: a
+        marker named by cache key skips that spec without poisoning
+        its chunk siblings."""
+        from repro.service.client import _execute_chunk
+
+        cancelled, survivor = grid()[0], grid()[1]
+        (tmp_path / cancelled.cache_key()).touch()
+        results = _execute_chunk([cancelled, survivor], None,
+                                 str(tmp_path))
+        assert results[0] == ("cancelled", None)
+        status, record = results[1]
+        assert status == "ok"
+        assert record.result == fresh_serial(survivor)
+
+    def test_cancelled_key_can_be_resubmitted(self):
+        spec = grid()[0]
+        gate = threading.Event()
+        with Client(workers=1, store=False) as client:
+            client._ensure_executor().submit(gate.wait, 30)
+            handle = client.submit(spec)
+            handle.cancel()
+            gate.set()
+            with pytest.raises(RunCancelled):
+                handle.result(timeout=30)
+            record = client.submit(spec).result(timeout=120)
+            assert record.result.cycles > 0
+
+
+class TestRequireStoreHit:
+    def test_miss_raises_when_required(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_STORE_HIT", "1")
+        with Client(workers=1, store=tmp_path / "s") as client:
+            with pytest.raises(StoreError, match="missed the result"):
+                client.run_one(grid()[0])
+
+    def test_warm_store_satisfies_requirement(self, tmp_path,
+                                              monkeypatch):
+        spec = grid()[0]
+        with Client(workers=1, store=tmp_path / "s") as cold:
+            expected = cold.run_one(spec)
+        monkeypatch.setenv("REPRO_REQUIRE_STORE_HIT", "1")
+        runner_worker.clear_caches()
+        with Client(workers=1, store=tmp_path / "s") as warm:
+            assert warm.run_one(spec) == expected
+
+    def test_worker_level_enforcement(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_STORE_HIT", "1")
+        with pytest.raises(StoreError):
+            execute_spec(grid()[0], store=False)
+
+
+class TestSweepCompat:
+    def test_sweep_grids_run_through_client(self):
+        specs = sweep(BENCHMARKS, kernels=("pmc",), length=LEN)
+        with Client(workers=1, store=False) as client:
+            records = client.run(specs)
+        assert [r.spec.benchmark for r in records] \
+            == [s.benchmark for s in specs]

@@ -1,0 +1,183 @@
+"""The versioned JSON codec: exact round trips, byte stability."""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FireGuardConfig
+from repro.core.isax import IsaxStyle
+from repro.core.system import Alert, SystemResult
+from repro.errors import StoreError
+from repro.kernels.base import KernelStrategy
+from repro.runner import AttackPlan, RunRecord, RunSpec
+from repro.service import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    dumps_record,
+    loads_record,
+    record_from_dict,
+    record_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.trace.attacks import AttackKind
+from repro.trace.scenario import SCENARIOS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rich_spec(**overrides):
+    """A spec touching every serialized field class: tuple, frozenset,
+    enums, nested config, attack plan."""
+    kwargs = dict(
+        benchmark="swaptions",
+        kernels=("asan", "pmc"),
+        engines_per_kernel=6,
+        accelerated=frozenset({"pmc"}),
+        strategy=KernelStrategy.UNROLLED,
+        isax_style=IsaxStyle.POST_COMMIT,
+        config=FireGuardConfig(filter_width=2, fifo_depth=8),
+        block_size=16,
+        seed=23,
+        length=4000,
+        attacks=AttackPlan(AttackKind.OOB_ACCESS, 12,
+                           pmc_bounds=(0x1000, 0x2000)),
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+def rich_record(spec=None):
+    result = SystemResult(
+        cycles=123456, committed=100000, time_ns=77135.5,
+        stall_backpressure=321,
+        alerts=[Alert(engine_id=2, code=7, time_ns=19.5, attack_id=4,
+                      pc=0x4000_1234),
+                Alert(engine_id=0, code=1, time_ns=99.25,
+                      attack_id=None, pc=0x4000_0010)],
+        detections={9: 250.0, 2: 31.5, 4: 19.5},
+        filter_full_cycles=11, mapper_blocked_cycles=22,
+        cdc_full_cycles=33, msgq_full_cycles=44, packets_filtered=55,
+        packets_delivered=66, engine_instructions=77,
+        prf_preemptions=88, noc_words=99)
+    return RunRecord(spec=spec or rich_spec(), result=result,
+                     baseline_cycles=101010, injected_attacks=12,
+                     trace_digest="ab" * 32)
+
+
+class TestRoundTrip:
+    def test_spec_exact(self):
+        spec = rich_spec()
+        again = spec_from_dict(spec_to_dict(spec))
+        assert again == spec
+        assert again.cache_key() == spec.cache_key()
+        assert isinstance(again.accelerated, frozenset)
+        assert isinstance(again.strategy, KernelStrategy)
+
+    def test_spec_scenario_by_name(self):
+        spec = rich_spec(benchmark="boot-then-serve",
+                         scenario="boot-then-serve", attacks=None)
+        again = spec_from_dict(spec_to_dict(spec))
+        assert again == spec
+
+    def test_spec_inline_scenario_with_custom_profile(self):
+        # quiescent-idle carries a custom (non-PARSEC) profile, so
+        # this exercises the WorkloadProfile codec too.
+        scenario = SCENARIOS["quiescent-idle"]
+        spec = rich_spec(benchmark=scenario.name, scenario=scenario,
+                         attacks=None, stream=True)
+        again = spec_from_dict(spec_to_dict(spec))
+        assert again == spec
+        assert again.scenario.cache_token() == scenario.cache_token()
+
+    def test_spec_software_scheme(self):
+        spec = RunSpec(benchmark="dedup", software="asan_aarch64",
+                       length=3000)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_record_exact(self):
+        record = rich_record()
+        again = loads_record(dumps_record(record))
+        assert again == record
+        # Detection ids must come back as ints, not JSON strings.
+        assert all(isinstance(k, int)
+                   for k in again.result.detections)
+        assert again.result.alerts[1].attack_id is None
+
+    def test_executed_record_round_trips(self):
+        from repro.runner.worker import execute_spec
+
+        record = execute_spec(RunSpec(benchmark="swaptions",
+                                      kernels=("pmc",), length=1500),
+                              store=False)
+        assert loads_record(dumps_record(record)) == record
+
+
+class TestValidation:
+    def test_schema_mismatch_is_distinct(self):
+        payload = record_to_dict(rich_record())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            record_from_dict(payload)
+
+    def test_key_mismatch_is_store_error(self):
+        record = rich_record()
+        with pytest.raises(StoreError, match="does not match"):
+            loads_record(dumps_record(record, key="f" * 64),
+                         expect_key="0" * 64)
+
+    def test_garbage_is_store_error(self):
+        with pytest.raises(StoreError):
+            loads_record(b"not json at all")
+        with pytest.raises(StoreError):
+            loads_record(b'{"schema": %d, "spec": 42}'
+                         % SCHEMA_VERSION)
+
+
+_STABILITY_SCRIPT = """
+import hashlib, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {tests!r})
+from test_service_serialization import rich_record, rich_spec
+from repro.service import dumps_record
+from repro.trace.scenario import SCENARIOS
+
+records = [
+    rich_record(),
+    rich_record(rich_spec(accelerated=frozenset(
+        {{"pmc", "shadow_stack", "asan"}}))),
+    rich_record(rich_spec(benchmark="quiescent-idle", attacks=None,
+                          scenario=SCENARIOS["quiescent-idle"])),
+]
+for record in records:
+    print(hashlib.sha256(dumps_record(record)).hexdigest())
+"""
+
+
+class TestByteStability:
+    def test_bytes_identical_across_hash_seeds(self):
+        """Satellite: canonical serialization is byte-stable under
+        PYTHONHASHSEED randomization (frozenset iteration order and
+        dict insertion hashing must never leak into the file)."""
+        script = _STABILITY_SCRIPT.format(
+            src=str(REPO / "src"), tests=str(REPO / "tests"))
+        digests = []
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env.pop("REPRO_TRACE_LEN", None)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            digests.append(out.stdout)
+        assert digests[0] == digests[1] == digests[2]
+        assert len(digests[0].split()) == 3
+
+    def test_dumps_are_deterministic_in_process(self):
+        record = rich_record()
+        assert dumps_record(record) == dumps_record(record)
+        assert hashlib.sha256(dumps_record(record)).hexdigest() \
+            == hashlib.sha256(dumps_record(rich_record())).hexdigest()
