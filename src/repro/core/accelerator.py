@@ -14,8 +14,12 @@ from typing import Callable
 
 from repro.core.msgqueue import MessageQueue
 from repro.core.packet import (
+    META_ALLOC,
     META_CALL,
+    META_FREE,
+    META_LOAD,
     META_RET,
+    META_STORE,
     OFF_ADDR,
     OFF_DATA,
     Packet,
@@ -43,17 +47,31 @@ class HardwareAccelerator(Instrumented):
         self.queue = queue
         self.on_alert = on_alert
         self.throughput = throughput
+        # Per-run vectorized pre-check plan (REPRO_BACKEND=vector):
+        # verdicts precomputed per record, scalar check() only on the
+        # rows the array pass flagged as interesting.
+        self._plan = None
         self.stat_packets = 0
         self.stat_alerts = 0
 
+    def use_plan(self, plan) -> None:
+        """Attach a :class:`~repro.core.vector.EngineCheckPlan` for
+        the run about to start (cleared by :meth:`reset`)."""
+        self._plan = plan
+
     def tick(self, low_cycle: int) -> None:
+        plan = self._plan
         for _ in range(self.throughput):
             if self.queue.empty:
                 return
             self.queue.pop(0)
             packet = self.queue.recent_packet
             self.stat_packets += 1
-            if self.check(packet, low_cycle):
+            if plan is not None:
+                verdict = plan.verdict(self, packet, low_cycle)
+            else:
+                verdict = self.check(packet, low_cycle)
+            if verdict:
                 self.stat_alerts += 1
                 self.on_alert(self.engine_id, packet, low_cycle)
 
@@ -83,6 +101,7 @@ class HardwareAccelerator(Instrumented):
     def reset(self) -> None:
         """Power-on state (session reset); subclasses reset their
         checking state via :meth:`_reset_state`."""
+        self._plan = None
         self._reset_state()
         self.reset_stats()
 
@@ -147,4 +166,61 @@ class ShadowStackAccelerator(HardwareAccelerator):
                 return True  # return with empty shadow stack
             expected = self._stack.pop()
             return target != expected
+        return False
+
+
+class AsanAccelerator(HardwareAccelerator):
+    """Shadow-memory sanitiser in dedicated hardware (§IV-A).
+
+    Same 16-byte-granule semantics as the ASan guardian kernel —
+    allocations poison a redzone granule each side and clear the body,
+    frees poison the body, monitored accesses check their granule —
+    with one deliberate difference: free-time poisoning is synchronous.
+    The µcore kernel defers it (FREE_DELAY_PACKETS) because checking is
+    distributed across engines with in-flight skew; a single HA drains
+    its queue in commit order, so there is no skew to quarantine
+    against.
+    """
+
+    name = "asan_ha"
+
+    # Poison bytes, mirroring repro.kernels.asan (kept literal here:
+    # the kernels package layers above core and cannot be imported).
+    POISON_LEFT = 0xF1
+    POISON_RIGHT = 0xF3
+    POISON_FREED = 0xFD
+    GRANULE_SHIFT = 4
+
+    def __init__(self, engine_id: int, queue: MessageQueue,
+                 on_alert: AlertCallback):
+        super().__init__(engine_id, queue, on_alert)
+        # granule index -> poison byte; absent means addressable.
+        self._shadow: dict[int, int] = {}
+
+    def _reset_state(self) -> None:
+        self._shadow.clear()
+
+    def check(self, packet: Packet, low_cycle: int) -> bool:
+        meta = packet.meta
+        shift = self.GRANULE_SHIFT
+        shadow = self._shadow
+        if meta & (META_LOAD | META_STORE):
+            granule = packet.word(OFF_ADDR) >> shift
+            return shadow.get(granule, 0) != 0
+        if meta & META_ALLOC:
+            base = packet.word(OFF_ADDR)
+            size = packet.word(OFF_DATA)
+            first = base >> shift
+            shadow[first - 1] = self.POISON_LEFT
+            shadow[(base + size) >> shift] = self.POISON_RIGHT
+            for granule in range(first, first + (size >> shift)):
+                shadow.pop(granule, None)
+            return False
+        if meta & META_FREE:
+            base = packet.word(OFF_ADDR)
+            size = packet.word(OFF_DATA)
+            first = base >> shift
+            for granule in range(first, first + (size >> shift)):
+                shadow[granule] = self.POISON_FREED
+            return False
         return False

@@ -1,0 +1,346 @@
+"""Vectorized execution backend (``REPRO_BACKEND=vector``).
+
+The scalar hot path classifies one committed instruction at a time:
+an SRAM lookup, an ``InstrClass`` test, packet meta bit-packing, and a
+PRF-preemption decision per record.  This module evaluates all of that
+per *chunk* with numpy over the columnar trace view
+(:mod:`repro.trace.columns`), then hands the results back to the
+scalar fabric as plain Python rows:
+
+* :class:`FrontEndPlan` — per-record filter decision (matched, GID,
+  packet addr/data/meta words, PRF-preemption flag), precomputed from
+  the programmed SRAM image and the trace columns.  The event filter
+  consumes one row per accepted offer; only the sparse surviving
+  packets are ever materialised as :class:`~repro.core.packet.Packet`
+  objects (the "sparse packet hand-off" invariant — DESIGN.md).
+* :class:`PmcCheckPlan` / :class:`ShadowCheckPlan` /
+  :class:`AsanCheckPlan` — per-record pre-checks for the hardware
+  accelerators: the array pass flags the rows that could possibly
+  alert or mutate checker state ("interesting"); the accelerator falls
+  back to its scalar ``check()`` only on those rows.
+
+Bit-identity with the scalar backend is the load-bearing contract:
+every observable side effect (packet words, mini-filter and
+forwarding statistics, PRF preemption timing, alert order) is
+reproduced exactly, pinned by the three-way differential grid in
+``tests/test_vector_identity.py``.
+
+Plans are windowed: chunks are classified lazily and dropped once
+consumed, so a streamed trace keeps its bounded-memory guarantee.
+Row consumption is strictly monotone — offers happen in commit order,
+and each engine's queue delivers packets in sequence order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.config import DP_PRF
+from repro.core.packet import (
+    META_ALLOC,
+    META_CALL,
+    META_FREE,
+    META_LOAD,
+    META_RET,
+    META_STORE,
+)
+from repro.errors import SimulationError
+from repro.isa.filter_index import FILTER_TABLE_SIZE
+from repro.isa.opcodes import PRF_RESULT_CLASSES, InstrClass
+from repro.trace.columns import CLASS_BY_INDEX, NO_ADDR, NUM_CLASSES
+from repro.utils.npcompat import np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import FireGuardSystem
+
+_MASK64 = (1 << 64) - 1
+
+if np is not None:
+    # Per-class lookup tables indexed by the FGTRACE1 class code.
+    _FLAG_LUT = np.zeros(NUM_CLASSES, dtype=np.uint64)
+    _CTRL_LUT = np.zeros(NUM_CLASSES, dtype=bool)
+    _PRF_LUT = np.zeros(NUM_CLASSES, dtype=bool)
+    _CALLRET_LUT = np.zeros(NUM_CLASSES, dtype=bool)
+    _MEM_LUT = np.zeros(NUM_CLASSES, dtype=bool)
+    for _code, _cls in enumerate(CLASS_BY_INDEX):
+        if _cls is InstrClass.LOAD:
+            _FLAG_LUT[_code] = META_LOAD
+        elif _cls is InstrClass.STORE:
+            _FLAG_LUT[_code] = META_STORE
+        elif _cls is InstrClass.CALL:
+            _FLAG_LUT[_code] = META_CALL
+        elif _cls is InstrClass.RET:
+            _FLAG_LUT[_code] = META_RET
+        _CTRL_LUT[_code] = _cls in (InstrClass.BRANCH, InstrClass.JUMP,
+                                    InstrClass.CALL, InstrClass.RET)
+        _PRF_LUT[_code] = _cls in PRF_RESULT_CLASSES
+        _CALLRET_LUT[_code] = _cls in (InstrClass.CALL, InstrClass.RET)
+        _MEM_LUT[_code] = _cls in (InstrClass.LOAD, InstrClass.STORE)
+    _CUSTOM_CODE = CLASS_BY_INDEX.index(InstrClass.CUSTOM)
+
+
+class _ChunkedRows:
+    """Forward-only windowed access to lazily classified chunk rows.
+
+    The source yields ``(start_seq, rows)`` per chunk; ``_row(seq)``
+    serves monotonically increasing sequence numbers, dropping each
+    window as the next one loads (bounded memory over streamed
+    traces)."""
+
+    __slots__ = ("_source", "_start", "_rows")
+
+    def __init__(self, source: Iterator[tuple[int, list]]):
+        self._source = source
+        self._start = 0
+        self._rows: list = []
+
+    def _row(self, seq: int):
+        index = seq - self._start
+        rows = self._rows
+        while index >= len(rows):
+            try:
+                start, rows = next(self._source)
+            except StopIteration:
+                raise SimulationError(
+                    f"vector plan exhausted at record {seq}: trace "
+                    "shorter than the offer stream") from None
+            self._start = start
+            self._rows = rows
+            index = seq - start
+        if index < 0:
+            raise SimulationError(
+                f"vector plan consumed out of order (record {seq} "
+                f"already passed, window starts at {self._start})")
+        return rows[index]
+
+
+class FrontEndPlan(_ChunkedRows):
+    """Precomputed event-filter decisions, one row per trace record.
+
+    Row ``seq`` is ``(matched, gid, addr, data, meta, prf)`` — exactly
+    the values the scalar path derives in ``MiniFilter.lookup`` plus
+    ``DataForwardingChannel.capture`` plus the ``Packet`` constructor.
+    Commit order equals trace order (offers are in order and each
+    record is accepted exactly once), so the filter's accepted-offer
+    counter indexes the plan directly.
+    """
+
+    def __init__(self, trace, gid_table, dp_table, prf_enabled: bool):
+        super().__init__(self._classify(trace, gid_table, dp_table,
+                                        prf_enabled))
+
+    @staticmethod
+    def _classify(trace, gid_table, dp_table,
+                  prf_enabled: bool) -> Iterator[tuple[int, list]]:
+        from repro.trace.columns import iter_trace_columns
+
+        for cols in iter_trace_columns(trace):
+            opcode = cols.opcode
+            funct3 = cols.funct3
+            cls = cols.iclass_code
+            index = (funct3.astype(np.uint16) << 7) | opcode
+            gid = gid_table[index]
+            dp = dp_table[index]
+            matched = gid >= 0
+
+            flags = _FLAG_LUT[cls]
+            is_custom = cls == _CUSTOM_CODE
+            alloc = is_custom & (funct3 == 0)
+            free = is_custom & (funct3 == 1)
+            meta = (flags
+                    | alloc.astype(np.uint64) * np.uint64(META_ALLOC)
+                    | free.astype(np.uint64) * np.uint64(META_FREE)
+                    | (gid.astype(np.int64) & 0xFF).astype(np.uint64) << 8
+                    | (opcode.astype(np.uint64) & 0x7F) << 16
+                    | (funct3.astype(np.uint64) & 0x7) << 23
+                    | (cols.mem_size.astype(np.uint64) & 0xFF) << 26
+                    | (cols.word.astype(np.uint64) & 0x3FFFFFFF) << 34)
+
+            mem_addr = cols.mem_addr
+            addr = np.where(
+                _CTRL_LUT[cls], cols.target,
+                np.where(mem_addr != np.uint64(NO_ADDR), mem_addr,
+                         np.uint64(0)))
+            prf = matched & ((dp & DP_PRF) != 0) & _PRF_LUT[cls] \
+                if prf_enabled else np.zeros(len(cols), dtype=bool)
+
+            rows = list(zip(matched.tolist(), gid.tolist(),
+                            addr.tolist(), cols.result.tolist(),
+                            meta.tolist(), prf.tolist()))
+            yield cols.start_seq, rows
+
+    def take(self, seq: int):
+        """The decision row for record ``seq`` (monotone access)."""
+        return self._row(seq)
+
+
+class EngineCheckPlan(_ChunkedRows):
+    """Base for per-accelerator pre-check plans.
+
+    Subclasses classify each record into a per-row fast-path value;
+    :meth:`verdict` applies it to an arriving packet, falling back to
+    the accelerator's scalar ``check()`` only where the array pass
+    could not decide.  Each engine sees a subsequence of sequence
+    numbers in increasing order, so the chunk window advances
+    monotonically (skipped rows are simply never read).
+    """
+
+    def verdict(self, accelerator, packet, low_cycle: int) -> bool:
+        raise NotImplementedError
+
+
+class PmcCheckPlan(EngineCheckPlan):
+    """PMC bounds checks as one array comparison per chunk.
+
+    Row ``seq`` is the precomputed out-of-bounds verdict for the
+    packet's address word; the event count (the PMC's only other state)
+    advances by exactly one per packet regardless of the verdict."""
+
+    def __init__(self, trace, bound_lo: int, bound_hi: int):
+        super().__init__(self._classify(trace, bound_lo, bound_hi))
+
+    @staticmethod
+    def _classify(trace, bound_lo: int,
+                  bound_hi: int) -> Iterator[tuple[int, list]]:
+        from repro.trace.columns import iter_trace_columns
+
+        lo = np.uint64(bound_lo & _MASK64)
+        hi = np.uint64(bound_hi & _MASK64)
+        for cols in iter_trace_columns(trace):
+            cls = cols.iclass_code
+            mem_addr = cols.mem_addr
+            addr = np.where(
+                _CTRL_LUT[cls], cols.target,
+                np.where(mem_addr != np.uint64(NO_ADDR), mem_addr,
+                         np.uint64(0)))
+            bad = ~((addr >= lo) & (addr < hi))
+            yield cols.start_seq, bad.tolist()
+
+    def verdict(self, accelerator, packet, low_cycle: int) -> bool:
+        accelerator.event_count += 1
+        return self._row(packet.seq)
+
+
+class ShadowCheckPlan(EngineCheckPlan):
+    """Shadow-stack pre-check: only call/ret rows can push, pop, or
+    alert; every other packet is a no-op verdict with no state touched
+    (identical to the scalar ``check()``'s fall-through)."""
+
+    def __init__(self, trace):
+        super().__init__(self._classify(trace))
+
+    @staticmethod
+    def _classify(trace) -> Iterator[tuple[int, list]]:
+        from repro.trace.columns import iter_trace_columns
+
+        for cols in iter_trace_columns(trace):
+            interesting = _CALLRET_LUT[cols.iclass_code]
+            yield cols.start_seq, interesting.tolist()
+
+    def verdict(self, accelerator, packet, low_cycle: int) -> bool:
+        if self._row(packet.seq):
+            return accelerator.check(packet, low_cycle)
+        return False
+
+
+class AsanCheckPlan(EngineCheckPlan):
+    """ASan pre-check: shadow state is only written by allocator
+    events, so a load or store can only read a poisoned granule if its
+    address falls inside some alloc/free region seen so far.  The plan
+    keeps a running min/max over event regions (widened one 16-byte
+    granule each side for the redzones) and flags allocator events plus
+    memory accesses inside that envelope; everything else is a clean
+    verdict without the shadow lookup.  Heap metadata is deliberately
+    not trusted — attack injection plants allocations above
+    ``trace.heap_end``, so the envelope must come from the events
+    themselves.  Accesses that precede the chunk's first event are
+    over-approximated (flagged but provably clean), which only costs a
+    scalar fall-back, never a verdict."""
+
+    GRANULE = 16
+
+    def __init__(self, trace):
+        super().__init__(self._classify(trace))
+
+    @classmethod
+    def _classify(cls, trace) -> Iterator[tuple[int, list]]:
+        from repro.trace.columns import iter_trace_columns
+
+        region_lo: int | None = None   # running envelope over event
+        region_hi = 0                  # regions [base, base+size)
+        for cols in iter_trace_columns(trace):
+            codes = cols.iclass_code
+            funct3 = cols.funct3
+            mem_addr = cols.mem_addr
+            event = (codes == _CUSTOM_CODE) & (funct3 <= 1)
+            if event.any():
+                bases = mem_addr[event]
+                ends = bases + cols.result[event]
+                chunk_lo = int(bases.min())
+                region_lo = (chunk_lo if region_lo is None
+                             else min(region_lo, chunk_lo))
+                region_hi = max(region_hi, int(ends.max()))
+            if region_lo is None:
+                yield cols.start_seq, event.tolist()
+                continue
+            # The left redzone granule ((base >> 4) - 1) reaches down
+            # to the previous granule boundary, not just base - 16;
+            # align the envelope outward to whole granules.
+            lo = np.uint64(max(0, ((region_lo >> 4) - 1) << 4))
+            hi = np.uint64((((region_hi >> 4) + 1) << 4) & _MASK64)
+            near = (_MEM_LUT[codes]
+                    & (mem_addr != np.uint64(NO_ADDR))
+                    & (mem_addr >= lo) & (mem_addr < hi))
+            yield cols.start_seq, (event | near).tolist()
+
+    def verdict(self, accelerator, packet, low_cycle: int) -> bool:
+        if self._row(packet.seq):
+            return accelerator.check(packet, low_cycle)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# plan assembly
+# ---------------------------------------------------------------------------
+
+def _filter_tables(system: "FireGuardSystem"):
+    """The programmed SRAM image as dense arrays: GID (−1 for
+    unprogrammed rows) and data-path selection per filter index."""
+    table = system.filter.minifilters[0].table
+    gid_table = np.full(FILTER_TABLE_SIZE, -1, dtype=np.int16)
+    dp_table = np.zeros(FILTER_TABLE_SIZE, dtype=np.uint8)
+    for index, entry in enumerate(table):
+        if entry is not None:
+            gid_table[index] = entry.gid
+            dp_table[index] = entry.dp_sel
+    return gid_table, dp_table
+
+
+def install_plans(system: "FireGuardSystem", trace) -> None:
+    """Build and attach this run's vector plans.
+
+    Installs the front-end plan on the event filter and a pre-check
+    plan on each hardware accelerator that has one.  µcore engines are
+    unaffected (their ISS is the semantics under test).  No-op without
+    numpy — callers resolve the backend first.
+    """
+    if np is None:  # pragma: no cover - scalar fallback
+        return
+    from repro.core.accelerator import (
+        AsanAccelerator,
+        PmcAccelerator,
+        ShadowStackAccelerator,
+    )
+
+    gid_table, dp_table = _filter_tables(system)
+    prf_enabled = system.forwarding.prf_attached
+    system.filter.use_plan(
+        FrontEndPlan(trace, gid_table, dp_table, prf_enabled))
+    for engine in system.engines:
+        if isinstance(engine, PmcAccelerator):
+            engine.use_plan(PmcCheckPlan(
+                trace, engine.bound_lo, engine.bound_hi))
+        elif isinstance(engine, ShadowStackAccelerator):
+            engine.use_plan(ShadowCheckPlan(trace))
+        elif isinstance(engine, AsanAccelerator):
+            engine.use_plan(AsanCheckPlan(trace))

@@ -24,6 +24,8 @@ serial work that extra µcores cannot absorb (§IV-D).
 
 from __future__ import annotations
 
+from repro.core.accelerator import AsanAccelerator
+from repro.core.msgqueue import MessageQueue
 from repro.core.scheduling import SchedulingPolicy
 from repro.kernels.base import GuardianKernel, KernelStrategy
 from repro.kernels.groups import GROUP_EVENT, GROUP_MEM
@@ -42,9 +44,14 @@ class AsanKernel(GuardianKernel):
     name = "asan"
     groups = (GROUP_MEM, GROUP_EVENT)
     policy = SchedulingPolicy.ROUND_ROBIN
+    has_accelerator = True
 
     def __init__(self, strategy: KernelStrategy = KernelStrategy.HYBRID):
         super().__init__(strategy)
+
+    def make_accelerator(self, engine_id: int, queue: MessageQueue,
+                         on_alert) -> AsanAccelerator:
+        return AsanAccelerator(engine_id, queue, on_alert)
 
     def program_source(self) -> str:
         # s0 = shadow base; shadow(addr) = s0 + (addr >> 4).

@@ -230,6 +230,69 @@ class MainCore:
         self._dispatch(cycle)
         self.result.cycles = cycle + 1
 
+    # -- stall fast-forward ----------------------------------------------
+    def stall_window(self, cycle: int) -> tuple[int, str] | None:
+        """The provable counter-only stall window starting at ``cycle``.
+
+        Returns ``(until, kind)`` when every cycle in
+        ``[cycle, until)`` would execute as pure stall accounting —
+        nothing commits (the ROB head completes at or after ``until``)
+        and nothing dispatches (front-end stall, exhausted trace, full
+        ROB, or a blocked LSQ, in :meth:`_dispatch`'s priority order) —
+        or ``None`` when the next cycle does real work.  The session
+        batches such windows with :meth:`skip_stalls` instead of
+        stepping them; the stall cause cannot change mid-window because
+        only commit and dispatch mutate it, and neither runs.
+        Windows of fewer than two cycles are not worth the bookkeeping
+        and report ``None``.
+        """
+        head = self.rob.head()
+        head_done = head.completion if head is not None else None
+        if head_done is not None and head_done <= cycle:
+            return None  # the head commits this cycle
+        until = self._fetch_stall_until
+        if cycle < until:
+            if head_done is not None and head_done < until:
+                until = head_done
+            kind = ("fetch-redirect" if self._stall_reason_redirect
+                    else "fetch-icache")
+        elif self._next_dispatch >= len(self._trace):
+            if head_done is None:
+                return None  # fully drained: the quiescent path owns it
+            until, kind = head_done, "drain"
+        elif self.rob.full:
+            until, kind = head_done, "rob"
+        elif not self.lsq.can_dispatch(
+                self._trace[self._next_dispatch].iclass):
+            if head_done is None:
+                return None
+            until, kind = head_done, "lsq"
+        else:
+            return None
+        if until <= cycle + 1:
+            return None
+        return until, kind
+
+    def skip_stalls(self, cycle: int, target: int, kind: str) -> None:
+        """Account ``target - cycle`` stall cycles in one batch —
+        exactly the counters ``step`` would have incremented over the
+        window :meth:`stall_window` reported."""
+        delta = target - cycle
+        result = self.result
+        if kind == "fetch-redirect":
+            result.stall_fetch += delta
+            result.stall_fetch_redirect += delta
+        elif kind == "fetch-icache":
+            result.stall_fetch += delta
+            result.stall_fetch_icache += delta
+        elif kind == "rob":
+            result.stall_rob_full += delta
+        elif kind == "lsq":
+            result.stall_lsq_full += delta
+        # "drain" charges nothing: an exhausted trace leaves dispatch
+        # silent while the ROB empties.
+        result.cycles = target
+
     def run_standalone(self, trace: Trace,
                        max_cycles: int = 50_000_000) -> CoreResult:
         """Run a trace to completion without FireGuard attached."""

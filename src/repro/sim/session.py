@@ -30,6 +30,15 @@ The session adds three things the monolithic loop could not offer:
   implementation for those A/B comparisons.  Its conservative
   per-cycle ``can_skip()`` idle-skip is unchanged from when it was the
   only loop.
+
+Orthogonally to the loop choice, ``REPRO_BACKEND`` selects the
+execution backend: ``vector`` (default where numpy is available)
+precomputes the event-filter decisions and the accelerator pre-checks
+per trace chunk (:mod:`repro.core.vector`), and the event loop batches
+provable core-stall windows through the clock's stride fast-forward;
+``scalar`` is the record-at-a-time reference.  Both produce
+bit-identical :class:`SystemResult`\\ s (the three-way differential
+grid in ``tests/test_vector_identity.py``).
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.clock.domain import DualDomainClock
 from repro.errors import SimulationError
 from repro.sched import EventScheduler
 from repro.trace.record import Trace
+from repro.utils.npcompat import BACKEND_VECTOR, resolve_backend
 from repro.utils.stats import Instrumented
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -57,7 +67,19 @@ class SimulationSession(Instrumented):
     ``run(trace)`` bit for bit).
 
     ``dense`` selects the reference dense loop over the event-driven
-    scheduler; None reads ``REPRO_DENSE_LOOP`` (``"1"`` means dense).
+    scheduler; None reads ``REPRO_DENSE_LOOP`` (``"1"`` means dense,
+    ``"0"`` means event).  With neither the argument nor the variable
+    set, the session is *adaptive*: each ``run()`` picks the loop that
+    measures faster for the built engine mix — the dense sweep for
+    small all-µcore pools (few busy engines make the wakeup
+    bookkeeping cost more than dense's direct poll), the event loop
+    everywhere else — so no configuration is slower than the dense
+    reference.  The loops are bit-identical, so the choice is
+    invisible in results.
+    ``backend`` selects the execution backend (``"vector"`` or
+    ``"scalar"``); None reads ``REPRO_BACKEND``, defaulting to vector
+    when numpy is importable and falling back to scalar (with a
+    one-time warning if vector was explicitly requested) otherwise.
     A system should be driven by one session (the canonical path is
     :meth:`FireGuardSystem.session`): the event scheduler wires wakeup
     hooks into the system's queues, and the last session wired wins.
@@ -74,11 +96,20 @@ class SimulationSession(Instrumented):
     _NEVER = 1 << 62
 
     def __init__(self, system: "FireGuardSystem",
-                 dense: bool | None = None):
+                 dense: bool | None = None,
+                 backend: str | None = None):
         self.system = system
+        env = os.environ.get("REPRO_DENSE_LOOP")
         if dense is None:
-            dense = os.environ.get("REPRO_DENSE_LOOP", "") == "1"
+            # Neither the caller nor the environment chose a loop:
+            # adaptive mode picks per run() from the engine mix (the
+            # loops are bit-identical, so the choice is pure policy).
+            self._adaptive = env is None
+            dense = env == "1"
+        else:
+            self._adaptive = False
         self.dense = dense
+        self.backend = resolve_backend(backend)
         self.stat_mapper_blocked = 0
         self.stat_engine_ticks_skipped = 0
         self.stat_low_cycles_skipped = 0
@@ -242,10 +273,13 @@ class SimulationSession(Instrumented):
                                       stall_backpressure=0)
         system.core.begin(trace, record_commit_times=True)
         system.core.attach_observer(system.filter)
+        if self.backend == BACKEND_VECTOR:
+            from repro.core.vector import install_plans
+            install_plans(system, trace)
         clock = DualDomainClock(system.config.high_domain(),
                                 system.config.low_domain())
 
-        if self.dense:
+        if self.dense or (self._adaptive and self._prefer_dense()):
             high_cycle = self._loop_dense(trace, clock, max_cycles)
         else:
             try:
@@ -258,6 +292,27 @@ class SimulationSession(Instrumented):
 
         self.runs_completed += 1
         return self._finalize(high_cycle, clock)
+
+    def _prefer_dense(self) -> bool:
+        """Adaptive loop policy: small all-µcore engine pools run the
+        dense loop.
+
+        With few µcores each engine is busy nearly every low cycle, so
+        the scheduler's wakeup bookkeeping (wheel posts, due sets,
+        fabric next-event upkeep) exceeds the dense loop's direct
+        ``can_skip`` poll — the measured 4-engine regression this
+        policy removes.  Hardware accelerators sleep whenever their
+        queue is empty, so any HA in the mix tips the balance back to
+        the event loop, as do large µcore pools (BENCH_sched.json
+        tracks both points).
+        """
+        from repro.core.accelerator import HardwareAccelerator
+        ucores = 0
+        for engine in self.system.engines:
+            if isinstance(engine, HardwareAccelerator):
+                return False
+            ucores += 1
+        return 0 < ucores < 8
 
     # -- the reference dense loop -----------------------------------------
     def _loop_dense(self, trace: Trace, clock: DualDomainClock,
@@ -345,14 +400,54 @@ class SimulationSession(Instrumented):
 
         high_cycle = 0
         # -- phase 1: the core is executing --------------------------------
-        # The high domain runs dense (the core must step every cycle);
+        # The high domain steps the core every cycle it does real work;
         # only the low-domain block is event-gated.  The drain break
         # cannot fire before the core is done, so the bottom of the
-        # dense iteration reduces to the done/max checks.
+        # dense iteration reduces to the done/max checks.  Provable
+        # core-stall windows (fetch stall, full ROB, blocked LSQ,
+        # post-trace ROB drain — stall_window's contract) are batch
+        # accounted and fast-forwarded from low-domain event to event,
+        # with the same statistics the dense loop would accrue cycle by
+        # cycle.
         low_due_at = low_sched.due_at
         clock_tick = clock.tick
         core_step = core.step
         while True:
+            if not event_filter.pending and not cdc.full:
+                # Nothing can commit or dispatch until the window ends,
+                # and with no buffered packets the mapper slice is a
+                # no-op, so only low-domain events bound the jump.
+                window = core.stall_window(high_cycle)
+                if window is not None:
+                    stop_fast = min(window[0], max_cycles)
+                    if stop_fast > high_cycle + 1:
+                        next_evt = low_sched.next_due_cycle(
+                            clock.slow_cycle)
+                        if self._fabric_next < (
+                                self._NEVER if next_evt is None
+                                else next_evt):
+                            next_evt = self._fabric_next
+                        if next_evt is not None \
+                                and next_evt <= clock.slow_cycle:
+                            next_evt = clock.slow_cycle + 1
+                        before_fast = clock.fast_cycle
+                        before_slow = clock.slow_cycle
+                        on_edge = clock.advance_to(stop_fast, next_evt)
+                        skipped = clock.fast_cycle - before_fast
+                        if skipped:
+                            core.skip_stalls(high_cycle, clock.fast_cycle,
+                                             window[1])
+                            self.stat_high_cycles_fastforwarded += skipped
+                            self.stat_low_cycles_skipped += (
+                                clock.slow_cycle - before_slow
+                                - (1 if on_edge else 0))
+                            high_cycle = clock.fast_cycle
+                            if on_edge:
+                                self._low_tick(clock.slow_cycle, clock)
+                            if high_cycle >= max_cycles:
+                                raise self._undrained_error(
+                                    trace, max_cycles, clock.slow_cycle)
+                            continue
             core_step(high_cycle)
             # The mapper slice is a provable no-op when the lane FIFOs
             # are empty and the CDC has space — except the dense loop's

@@ -1,0 +1,225 @@
+"""Columnar (structure-of-arrays) view of FGTRACE1 record batches.
+
+The scalar codec in :mod:`repro.trace.stream` packs and unpacks one
+44-byte record at a time through :data:`struct.Struct`.  This module
+decodes whole chunks at once: :data:`RECORD_DTYPE` is a numpy
+structured dtype laid out *bit-identically* to ``RECORD_STRUCT``, so a
+chunk of file bytes becomes a structure-of-arrays
+:class:`RecordColumns` with one ``np.frombuffer`` — zero copies, one
+strided view per field.  The vectorized backend
+(:mod:`repro.core.vector`) consumes these columns; the streaming
+reader uses them to materialise :class:`InstrRecord` chunks via bulk
+``tolist`` instead of per-record ``struct.unpack``.
+
+Sentinel encodings are shared with the scalar codec and round-trip
+losslessly (property-tested in ``tests/test_columns.py``):
+``mem_addr is None`` ↔ ``NO_ADDR`` (all-ones), ``attack_id is None`` ↔
+``-1``, ``dst is None`` ↔ ``-1``, and ``srcs`` ↔ ``(nsrcs, src0,
+src1)``.
+
+Everything here requires numpy; callers gate on
+:data:`repro.utils.npcompat.HAVE_NUMPY` and fall back to the scalar
+codec when it is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import InstrRecord
+from repro.utils.npcompat import np
+
+#: Sentinel encoding for ``mem_addr is None`` (mirrors
+#: :data:`repro.trace.stream.NO_ADDR`; duplicated here so the codec
+#: layers have no import cycle).
+NO_ADDR = (1 << 64) - 1
+
+CLASS_BY_INDEX = tuple(InstrClass)
+NUM_CLASSES = len(CLASS_BY_INDEX)
+
+if np is not None:
+    #: Structured dtype mirroring ``RECORD_STRUCT = "<QIBBBbbBBQHBQQi"``
+    #: field for field: little-endian, packed, no padding.  The
+    #: byte-level identity with the scalar codec is asserted by
+    #: ``tests/test_columns.py``.
+    RECORD_DTYPE = np.dtype([
+        ("pc", "<u8"), ("word", "<u4"), ("opcode", "u1"),
+        ("funct3", "u1"), ("iclass", "u1"), ("dst", "i1"),
+        ("nsrcs", "i1"), ("src0", "u1"), ("src1", "u1"),
+        ("mem_addr", "<u8"), ("mem_size", "<u2"), ("taken", "u1"),
+        ("target", "<u8"), ("result", "<u8"), ("attack_id", "<i4"),
+    ])
+else:  # pragma: no cover - numpy-less installs never touch columns
+    RECORD_DTYPE = None
+
+
+class RecordColumns:
+    """One chunk of records as parallel per-field arrays.
+
+    ``start_seq`` is the trace-order sequence number of row 0; row
+    ``i`` of every column describes record ``start_seq + i``.  The
+    arrays are views over the chunk's file bytes (or over a packed
+    buffer built from in-memory records) — treat them as read-only.
+    """
+
+    __slots__ = ("data", "start_seq")
+
+    def __init__(self, data, start_seq: int = 0):
+        self.data = data
+        self.start_seq = start_seq
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # Field views (zero-copy strided slices of the chunk buffer).
+    @property
+    def pc(self):
+        return self.data["pc"]
+
+    @property
+    def word(self):
+        return self.data["word"]
+
+    @property
+    def opcode(self):
+        return self.data["opcode"]
+
+    @property
+    def funct3(self):
+        return self.data["funct3"]
+
+    @property
+    def iclass_code(self):
+        """Index into :data:`CLASS_BY_INDEX` (the FGTRACE1 encoding of
+        :class:`~repro.isa.opcodes.InstrClass`)."""
+        return self.data["iclass"]
+
+    @property
+    def mem_addr(self):
+        """Raw column: ``NO_ADDR`` encodes "no memory access"."""
+        return self.data["mem_addr"]
+
+    @property
+    def mem_size(self):
+        return self.data["mem_size"]
+
+    @property
+    def target(self):
+        return self.data["target"]
+
+    @property
+    def result(self):
+        return self.data["result"]
+
+    @property
+    def attack_id(self):
+        """Raw column: ``-1`` encodes "not an attack record"."""
+        return self.data["attack_id"]
+
+    # -- codec ----------------------------------------------------------
+    @classmethod
+    def from_bytes(cls, blob: bytes | memoryview,
+                   start_seq: int = 0) -> "RecordColumns":
+        """Zero-copy decode of packed FGTRACE1 record bytes."""
+        if np is None:
+            raise TraceError("RecordColumns requires numpy")
+        if len(blob) % RECORD_DTYPE.itemsize:
+            raise TraceError(
+                f"record buffer length {len(blob)} is not a multiple "
+                f"of the {RECORD_DTYPE.itemsize}-byte record size")
+        return cls(np.frombuffer(blob, dtype=RECORD_DTYPE), start_seq)
+
+    @classmethod
+    def from_records(cls, records: Iterable[InstrRecord],
+                     start_seq: int = 0) -> "RecordColumns":
+        """Pack in-memory records into columns.
+
+        Goes through the scalar encoder so both paths share one source
+        of truth for the byte layout (and the same range checks).
+        """
+        from repro.trace.stream import pack_record
+
+        blob = b"".join(pack_record(rec) for rec in records)
+        return cls.from_bytes(blob, start_seq)
+
+    def to_bytes(self) -> bytes:
+        """The packed FGTRACE1 bytes of this chunk (bit-identical to
+        ``pack_record`` applied per row)."""
+        return self.data.tobytes()
+
+    def first_bad_class_index(self) -> int:
+        """Row index of the first out-of-range instruction-class code,
+        or ``-1`` when every row decodes (corruption diagnostics)."""
+        bad = self.data["iclass"] >= NUM_CLASSES
+        if bad.any():
+            return int(bad.argmax())
+        return -1
+
+    def to_records(self) -> list[InstrRecord]:
+        """Materialise :class:`InstrRecord` objects, bulk-converting
+        each column once instead of unpacking per record.
+
+        Raises :class:`TraceError` on an out-of-range class code (the
+        scalar decoder's ``IndexError`` equivalent), naming the row.
+        """
+        bad = self.first_bad_class_index()
+        if bad >= 0:
+            code = int(self.data["iclass"][bad])
+            raise TraceError(
+                f"record {self.start_seq + bad}: instruction class "
+                f"code {code} out of range (trace file corrupt?)")
+        a = self.data
+        pcs = a["pc"].tolist()
+        words = a["word"].tolist()
+        opcodes = a["opcode"].tolist()
+        funct3s = a["funct3"].tolist()
+        classes = a["iclass"].tolist()
+        dsts = a["dst"].tolist()
+        nsrcs = a["nsrcs"].tolist()
+        src0s = a["src0"].tolist()
+        src1s = a["src1"].tolist()
+        addrs = a["mem_addr"].tolist()
+        sizes = a["mem_size"].tolist()
+        takens = a["taken"].tolist()
+        targets = a["target"].tolist()
+        results = a["result"].tolist()
+        attack_ids = a["attack_id"].tolist()
+        by_index = CLASS_BY_INDEX
+        seq = self.start_seq
+        records = []
+        append = records.append
+        for i in range(len(pcs)):
+            dst = dsts[i]
+            addr = addrs[i]
+            attack = attack_ids[i]
+            append(InstrRecord(
+                seq=seq + i, pc=pcs[i], word=words[i],
+                opcode=opcodes[i], funct3=funct3s[i],
+                iclass=by_index[classes[i]],
+                dst=None if dst < 0 else dst,
+                srcs=(src0s[i], src1s[i])[:nsrcs[i]],
+                mem_addr=None if addr == NO_ADDR else addr,
+                mem_size=sizes[i], taken=bool(takens[i]),
+                target=targets[i], result=results[i],
+                attack_id=None if attack < 0 else attack))
+        return records
+
+
+def iter_trace_columns(trace, chunk_records: int = 4096,
+                       ) -> Iterator[RecordColumns]:
+    """Columns for any trace source.
+
+    Uses the source's own ``iter_columns`` when it has one (streamed
+    traces decode chunks straight off the file); otherwise packs the
+    in-memory records chunk by chunk.
+    """
+    native = getattr(trace, "iter_columns", None)
+    if native is not None:
+        yield from native(chunk_records)
+        return
+    records = trace.record_view()
+    for start in range(0, len(records), chunk_records):
+        yield RecordColumns.from_records(
+            records[start:start + chunk_records], start)

@@ -39,6 +39,7 @@ from typing import IO, Iterable, Iterator
 from repro.errors import TraceError
 from repro.isa.opcodes import InstrClass
 from repro.trace.record import HeapObject, InstrRecord, Trace
+from repro.utils.npcompat import HAVE_NUMPY
 
 MAGIC = b"FGTRACE1"
 # pc, word, opcode, funct3, iclass, dst, nsrcs, srcs[2], mem_addr,
@@ -287,8 +288,25 @@ class TraceReader:
         return self.meta.count
 
     def __iter__(self) -> Iterator[list[InstrRecord]]:
+        for blob, seq in self._iter_chunk_bytes():
+            yield self._decode_chunk(blob, seq)
+
+    def iter_columns(self, chunk_records: int | None = None):
+        """A fresh pass yielding
+        :class:`~repro.trace.columns.RecordColumns` per chunk — the
+        batch-decoded structure-of-arrays view the vectorized backend
+        consumes.  Requires numpy."""
+        from repro.trace.columns import RecordColumns
+
+        for blob, seq in self._iter_chunk_bytes(chunk_records):
+            yield RecordColumns.from_bytes(blob, seq)
+
+    def _iter_chunk_bytes(self, chunk_records: int | None = None,
+                          ) -> Iterator[tuple[bytes, int]]:
+        """Raw packed chunks with truncation diagnostics: yields
+        ``(bytes, start_seq)`` per chunk."""
         count = self.meta.count
-        per_chunk = self.chunk_records
+        per_chunk = chunk_records or self.chunk_records
         with open(self.path, "rb") as fh:
             fh.seek(self._data_offset)
             seq = 0
@@ -303,21 +321,41 @@ class TraceReader:
                         f"{self.path}: truncated at record {bad} of "
                         f"{count} (file offset {offset}: expected "
                         f"{RECORD_BYTES} bytes, found {found})")
-                chunk = []
-                for i in range(want):
-                    try:
-                        chunk.append(unpack_record(
-                            blob[i * RECORD_BYTES:(i + 1) * RECORD_BYTES],
-                            seq + i))
-                    except (struct.error, IndexError) as exc:
-                        offset = self._data_offset \
-                            + (seq + i) * RECORD_BYTES
-                        raise TraceError(
-                            f"{self.path}: corrupt record {seq + i} of "
-                            f"{count} (file offset {offset}): {exc}"
-                        ) from exc
+                yield blob, seq
                 seq += want
-                yield chunk
+
+    def _decode_chunk(self, blob: bytes, seq: int) -> list[InstrRecord]:
+        """Materialise one chunk: columnar bulk decode when numpy is
+        available, per-record ``struct.unpack`` otherwise.  Both paths
+        produce field-identical records and the same corruption
+        diagnostics (index + absolute file offset)."""
+        count = self.meta.count
+        if HAVE_NUMPY:
+            from repro.trace.columns import RecordColumns
+
+            columns = RecordColumns.from_bytes(blob, seq)
+            bad = columns.first_bad_class_index()
+            if bad >= 0:
+                offset = self._data_offset + (seq + bad) * RECORD_BYTES
+                code = int(columns.iclass_code[bad])
+                raise TraceError(
+                    f"{self.path}: corrupt record {seq + bad} of "
+                    f"{count} (file offset {offset}): instruction "
+                    f"class code {code} out of range")
+            return columns.to_records()
+        chunk = []
+        for i in range(len(blob) // RECORD_BYTES):
+            try:
+                chunk.append(unpack_record(
+                    blob[i * RECORD_BYTES:(i + 1) * RECORD_BYTES],
+                    seq + i))
+            except (struct.error, IndexError) as exc:
+                offset = self._data_offset + (seq + i) * RECORD_BYTES
+                raise TraceError(
+                    f"{self.path}: corrupt record {seq + i} of "
+                    f"{count} (file offset {offset}): {exc}"
+                ) from exc
+        return chunk
 
     def records(self) -> Iterator[InstrRecord]:
         """A fresh flat pass over all records."""
@@ -406,6 +444,12 @@ class StreamedTrace:
 
     def iter_records(self) -> Iterator[InstrRecord]:
         return self._reader.records()
+
+    def iter_columns(self, chunk_records: int | None = None):
+        """A fresh bounded-memory pass yielding
+        :class:`~repro.trace.columns.RecordColumns` per chunk (the
+        columnar face of the trace-source protocol)."""
+        return self._reader.iter_columns(chunk_records)
 
     def record_view(self) -> _SequentialRecords:
         return _SequentialRecords(self._reader)

@@ -105,6 +105,9 @@ class MicroCore(Instrumented):
     _WAIT_PEER = "peer"
     _WAIT_OUTPUT = "output"
 
+    # Instruction dispatch kinds (per-pc table, see __init__).
+    _K_OTHER, _K_QUEUE, _K_LOAD, _K_STORE, _K_BRANCH = range(5)
+
     def __init__(self, engine_id: int, program: list[UInstr],
                  controller: QueueController, memory: UcoreMemory,
                  config: FireGuardConfig,
@@ -146,6 +149,23 @@ class MicroCore(Instrumented):
         self.stat_stall_cycles = 0
         self.stat_pops = 0
         self.stat_alerts = 0
+
+        # Per-pc tables, precomputed once (the program is immutable
+        # for the engine's lifetime): the next instruction's read set
+        # for hazard checks and the dispatch kind, so the per-tick hot
+        # path indexes lists instead of hashing Op members into the
+        # classification frozensets.
+        self._next_reads: list[tuple[int, ...]] = [
+            program[index + 1].reads() if index + 1 < len(program)
+            else ()
+            for index in range(len(program))]
+        self._kind: list[int] = [
+            self._K_QUEUE if instr.op in QUEUE_OPS
+            else self._K_LOAD if instr.op in LOAD_OPS
+            else self._K_STORE if instr.op in STORE_OPS
+            else self._K_BRANCH if instr.op in BRANCH_OPS
+            else self._K_OTHER
+            for instr in program]
 
     # -- setup -------------------------------------------------------------
     def preset_registers(self, values: dict[int, int]) -> None:
@@ -245,10 +265,11 @@ class MicroCore(Instrumented):
         if low_cycle < self._stall_until:
             self.stat_stall_cycles += 1
             return
-        if self.pc >= len(self.program) or self.pc < 0:
+        pc = self.pc
+        if pc >= len(self.program) or pc < 0:
             self.halted = True
             return
-        instr = self.program[self.pc]
+        instr = self.program[pc]
         cost = self._execute(instr, low_cycle)
         if cost == 0:
             # Blocked: retry the same instruction next cycle.
@@ -261,27 +282,23 @@ class MicroCore(Instrumented):
         self.stat_instructions += 1
         self._instrs_since_effect += 1
         self._stall_until = low_cycle + cost
-        self._prev_was_queue_op = instr.op in QUEUE_OPS
+        self._prev_was_queue_op = self._kind[pc] == self._K_QUEUE
 
     def _hazard_next_uses(self, rd: int) -> bool:
         """Does the next sequential instruction read ``rd``?"""
-        if rd == 0:
-            return False
-        nxt = self.pc + 1
-        if nxt >= len(self.program):
-            return False
-        return rd in self.program[nxt].reads()
+        return rd != 0 and rd in self._next_reads[self.pc]
 
     def _execute(self, instr: UInstr, low_cycle: int) -> int:
         """Execute one instruction; return its cycle cost, or 0 when
         the instruction is blocked and must retry."""
+        kind = self._kind[self.pc]
+        if kind == self._K_QUEUE:
+            return self._execute_queue_op(instr, low_cycle)
+
         op = instr.op
         regs = self.regs
         r1 = regs[instr.rs1]
         r2 = regs[instr.rs2]
-
-        if op in QUEUE_OPS:
-            return self._execute_queue_op(instr, low_cycle)
 
         cost = 1
         advance = True
@@ -328,11 +345,11 @@ class MicroCore(Instrumented):
             result = 1 if _signed(r1) < instr.imm else 0
         elif op == Op.LI:
             result = instr.imm & _MASK64
-        elif op in LOAD_OPS:
+        elif kind == self._K_LOAD:
             return self._execute_load(instr, low_cycle)
-        elif op in STORE_OPS:
+        elif kind == self._K_STORE:
             return self._execute_store(instr, low_cycle)
-        elif op in BRANCH_OPS:
+        elif kind == self._K_BRANCH:
             taken = self._branch_taken(op, r1, r2)
             if taken:
                 self.pc = instr.imm

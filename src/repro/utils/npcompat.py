@@ -1,0 +1,72 @@
+"""Optional-numpy gate and execution-backend selection.
+
+The vectorized backend (``trace/columns.py``, ``core/vector.py``)
+needs numpy; the core library must keep working without it (DESIGN.md:
+the scalar path is the reference semantics, numpy only accelerates).
+This module centralises both decisions:
+
+* :data:`np` is the numpy module or ``None``; every columnar call site
+  gates on it instead of importing numpy directly, so a numpy-less
+  install degrades to the scalar path rather than failing at import;
+* :func:`resolve_backend` maps the ``REPRO_BACKEND`` environment
+  variable (``vector`` / ``scalar``, default ``vector`` where numpy is
+  available) to the backend actually used, warning once when a
+  requested vector backend has to fall back.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+try:  # pragma: no cover - exercised by numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = np is not None
+
+#: Environment variable selecting the execution backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+BACKEND_VECTOR = "vector"
+BACKEND_SCALAR = "scalar"
+
+_warned_fallback = False
+
+
+def _warn_fallback(reason: str) -> None:
+    """Warn exactly once per process about a scalar fallback."""
+    global _warned_fallback
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            f"REPRO_BACKEND=vector unavailable ({reason}); "
+            "falling back to the scalar backend",
+            RuntimeWarning, stacklevel=3)
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """The backend to use: ``"vector"`` or ``"scalar"``.
+
+    ``requested`` overrides the ``REPRO_BACKEND`` environment variable
+    (a session constructor argument beats ambient configuration).  An
+    unset request defaults to ``vector`` — the backends are
+    bit-identical (tests/test_vector_identity.py), so the fast one is
+    the default — unless numpy is missing, in which case the request
+    degrades to ``scalar`` with a one-time warning only when vector was
+    explicitly asked for.
+    """
+    if requested is None:
+        requested = os.environ.get(BACKEND_ENV, "") or BACKEND_VECTOR
+    requested = requested.strip().lower()
+    if requested not in (BACKEND_VECTOR, BACKEND_SCALAR):
+        raise ValueError(
+            f"unknown backend {requested!r}: expected "
+            f"'{BACKEND_VECTOR}' or '{BACKEND_SCALAR}'")
+    if requested == BACKEND_VECTOR and not HAVE_NUMPY:
+        if os.environ.get(BACKEND_ENV, "").strip().lower() \
+                == BACKEND_VECTOR:
+            _warn_fallback("numpy is not installed")
+        return BACKEND_SCALAR
+    return requested

@@ -1,0 +1,214 @@
+"""Property tests for the columnar FGTRACE1 codec.
+
+The vector backend trusts :mod:`repro.trace.columns` to be a
+bit-identical second implementation of the scalar record codec in
+:mod:`repro.trace.stream`.  These tests pin that equivalence with
+hypothesis: arbitrary in-range records must survive
+records → columns → bytes → columns → records unchanged, the packed
+bytes must equal ``pack_record`` applied per row, and every sentinel
+encoding (``mem_addr`` ``NO_ADDR``, ``attack_id``/``dst`` ``-1``,
+``srcs`` truncation) must round-trip through both codecs identically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.isa.opcodes import InstrClass
+from repro.trace.record import InstrRecord
+from repro.trace.stream import (
+    NO_ADDR,
+    RECORD_BYTES,
+    pack_record,
+    unpack_record,
+)
+from repro.utils.npcompat import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="columnar codec requires numpy")
+
+if HAVE_NUMPY:
+    from repro.trace.columns import (
+        CLASS_BY_INDEX,
+        NUM_CLASSES,
+        RECORD_DTYPE,
+        RecordColumns,
+        iter_trace_columns,
+    )
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+U16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+U8 = st.integers(min_value=0, max_value=255)
+
+records_strategy = st.builds(
+    InstrRecord,
+    seq=st.just(0),  # assigned by decode position, not encoded
+    pc=U64,
+    word=U32,
+    opcode=U8,
+    funct3=st.integers(min_value=0, max_value=7),
+    iclass=st.sampled_from(list(InstrClass)),
+    dst=st.one_of(st.none(), st.integers(min_value=0, max_value=31)),
+    srcs=st.lists(U8, max_size=2).map(tuple),
+    mem_addr=st.one_of(
+        st.none(),
+        # NO_ADDR (all-ones) is the None sentinel; real addresses stop
+        # one short of it.
+        st.integers(min_value=0, max_value=NO_ADDR - 1)),
+    mem_size=U16,
+    taken=st.booleans(),
+    target=U64,
+    result=U64,
+    attack_id=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=(1 << 31) - 1)),
+)
+
+record_lists = st.lists(records_strategy, max_size=40)
+
+
+def assert_records_equal(decoded, originals, start_seq=0):
+    assert len(decoded) == len(originals)
+    for index, (got, want) in enumerate(zip(decoded, originals)):
+        assert got.seq == start_seq + index
+        for field in ("pc", "word", "opcode", "funct3", "iclass",
+                      "dst", "srcs", "mem_addr", "mem_size", "taken",
+                      "target", "result", "attack_id"):
+            assert getattr(got, field) == getattr(want, field), (
+                f"row {index} field {field}")
+
+
+class TestLayout:
+    def test_dtype_matches_scalar_record_size(self):
+        assert RECORD_DTYPE.itemsize == RECORD_BYTES
+
+    def test_dtype_has_no_padding(self):
+        total = sum(RECORD_DTYPE[name].itemsize
+                    for name in RECORD_DTYPE.names)
+        assert total == RECORD_DTYPE.itemsize
+
+    def test_class_table_matches_enum(self):
+        assert CLASS_BY_INDEX == tuple(InstrClass)
+        assert NUM_CLASSES == len(InstrClass)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(record_lists)
+    def test_records_to_columns_and_back(self, records):
+        cols = RecordColumns.from_records(records)
+        assert len(cols) == len(records)
+        assert_records_equal(cols.to_records(), records)
+
+    @settings(max_examples=200)
+    @given(record_lists)
+    def test_to_bytes_matches_scalar_encoder(self, records):
+        cols = RecordColumns.from_records(records)
+        assert cols.to_bytes() == b"".join(
+            pack_record(rec) for rec in records)
+
+    @settings(max_examples=100)
+    @given(record_lists)
+    def test_from_bytes_matches_scalar_decoder(self, records):
+        blob = b"".join(pack_record(rec) for rec in records)
+        cols = RecordColumns.from_bytes(blob)
+        scalar = [unpack_record(blob[i * RECORD_BYTES:
+                                     (i + 1) * RECORD_BYTES], i)
+                  for i in range(len(records))]
+        assert_records_equal(cols.to_records(), scalar)
+
+    @settings(max_examples=50)
+    @given(record_lists, st.integers(min_value=0, max_value=1 << 40))
+    def test_start_seq_offsets_every_row(self, records, start_seq):
+        cols = RecordColumns.from_records(records, start_seq)
+        assert cols.start_seq == start_seq
+        assert_records_equal(cols.to_records(), records, start_seq)
+
+    def test_empty_chunk(self):
+        cols = RecordColumns.from_records([])
+        assert len(cols) == 0
+        assert cols.to_records() == []
+        assert cols.to_bytes() == b""
+
+
+class TestSentinels:
+    """The three sentinel encodings, pinned explicitly (hypothesis
+    covers them statistically; these make the contract readable)."""
+
+    def base_record(self, **overrides):
+        fields = dict(seq=0, pc=0x1000, word=0x13, opcode=0x13,
+                      funct3=0, iclass=InstrClass.INT_ALU)
+        fields.update(overrides)
+        return InstrRecord(**fields)
+
+    def one_row(self, record):
+        return RecordColumns.from_records([record])
+
+    def test_no_addr_sentinel(self):
+        cols = self.one_row(self.base_record(mem_addr=None))
+        assert int(cols.mem_addr[0]) == NO_ADDR
+        assert cols.to_records()[0].mem_addr is None
+        # The largest real address survives (off-by-one guard).
+        cols = self.one_row(self.base_record(mem_addr=NO_ADDR - 1))
+        assert cols.to_records()[0].mem_addr == NO_ADDR - 1
+
+    def test_attack_id_sentinel(self):
+        cols = self.one_row(self.base_record(attack_id=None))
+        assert int(cols.attack_id[0]) == -1
+        assert cols.to_records()[0].attack_id is None
+        cols = self.one_row(self.base_record(attack_id=0))
+        assert cols.to_records()[0].attack_id == 0
+
+    def test_dst_sentinel(self):
+        cols = self.one_row(self.base_record(dst=None))
+        assert int(cols.data["dst"][0]) == -1
+        assert cols.to_records()[0].dst is None
+        cols = self.one_row(self.base_record(dst=0))
+        assert cols.to_records()[0].dst == 0
+
+    def test_srcs_truncation(self):
+        for srcs in ((), (7,), (7, 9)):
+            cols = self.one_row(self.base_record(srcs=srcs))
+            assert cols.to_records()[0].srcs == srcs
+
+
+class TestCorruption:
+    def test_misaligned_buffer_rejected(self):
+        with pytest.raises(TraceError):
+            RecordColumns.from_bytes(b"\x00" * (RECORD_BYTES + 1))
+
+    def test_bad_class_code_names_row(self):
+        records = [InstrRecord(seq=i, pc=0x1000 + i, word=0x13,
+                               opcode=0x13, funct3=0,
+                               iclass=InstrClass.INT_ALU)
+                   for i in range(4)]
+        blob = bytearray(b"".join(pack_record(r) for r in records))
+        offset = 2 * RECORD_BYTES + RECORD_DTYPE.fields["iclass"][1]
+        blob[offset] = NUM_CLASSES  # first invalid code, row 2
+        cols = RecordColumns.from_bytes(bytes(blob), start_seq=100)
+        assert cols.first_bad_class_index() == 2
+        with pytest.raises(TraceError, match="record 102"):
+            cols.to_records()
+
+    def test_clean_chunk_reports_no_bad_row(self):
+        cols = RecordColumns.from_records(
+            [InstrRecord(seq=0, pc=0, word=0, opcode=0, funct3=0,
+                         iclass=InstrClass.INT_ALU)])
+        assert cols.first_bad_class_index() == -1
+
+
+class TestTraceIteration:
+    def test_iter_trace_columns_covers_whole_trace(self):
+        from repro.trace.generator import generate_trace
+        from repro.trace.profiles import PARSEC_PROFILES
+
+        trace = generate_trace(PARSEC_PROFILES["swaptions"], seed=7,
+                               length=3000)
+        chunks = list(iter_trace_columns(trace, chunk_records=256))
+        assert sum(len(c) for c in chunks) == len(trace.records)
+        assert [c.start_seq for c in chunks] == list(
+            range(0, len(trace.records), 256))
+        rebuilt = [rec for chunk in chunks
+                   for rec in chunk.to_records()]
+        assert_records_equal(rebuilt, trace.records)

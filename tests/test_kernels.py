@@ -91,9 +91,10 @@ class TestKernelDefinitions:
     def test_accelerator_availability(self):
         assert PmcKernel().has_accelerator
         assert ShadowStackKernel().has_accelerator
-        assert not AsanKernel().has_accelerator
+        assert AsanKernel().has_accelerator
+        assert not UafKernel().has_accelerator
         with pytest.raises(KernelError):
-            AsanKernel().make_accelerator(0, None, None)
+            UafKernel().make_accelerator(0, None, None)
 
 
 def run_with_attacks(kernel_name, bench, kind, count=10, seed=31,

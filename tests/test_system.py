@@ -39,9 +39,17 @@ class TestConstruction:
             accelerated={"pmc"})
         assert system.config.num_engines == 5
 
-    def test_accelerating_asan_rejected(self):
+    def test_accelerating_uaf_rejected(self):
+        # Kernels without an accelerator variant cannot be accelerated.
         with pytest.raises(ConfigError):
-            FireGuardSystem([make_kernel("asan")], accelerated={"asan"})
+            FireGuardSystem([make_kernel("uaf")], accelerated={"uaf"})
+
+    def test_accelerating_asan_builds_single_ha(self):
+        from repro.core.accelerator import AsanAccelerator
+        system = FireGuardSystem([make_kernel("asan")],
+                                 accelerated={"asan"})
+        assert len(system.engines) == 1
+        assert isinstance(system.engines[0], AsanAccelerator)
 
     def test_filter_programmed_for_groups(self):
         system = FireGuardSystem([make_kernel("asan")])

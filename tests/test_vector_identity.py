@@ -1,0 +1,175 @@
+"""Differential grid: the vector backend is bit-identical to scalar.
+
+The vector backend (columnar decode + precomputed filter plan +
+vectorized kernel pre-checks) is pure acceleration — DESIGN.md pins
+the scalar record-at-a-time path as the reference semantics.  These
+tests enforce that with a three-way grid: for every cell of
+{benchmark × kernel set × engine count × in-memory/streamed}, the
+dense loop, the event loop and the vector backend must produce
+*identical* :class:`SystemResult` objects, field for field.
+
+Also covered: the single hardware-accelerator configuration, attack
+traces (detections must match, not just cycle counts), the scalar
+fallback, and backend resolution precedence (constructor argument >
+``REPRO_BACKEND`` env > vector default).
+"""
+
+import pytest
+
+from repro.core.system import FireGuardSystem
+from repro.kernels import make_kernel
+from repro.sim import SimulationSession
+from repro.trace.attacks import AttackKind, inject_attacks
+from repro.trace.generator import generate_trace
+from repro.trace.io import save_trace
+from repro.trace.profiles import PARSEC_PROFILES
+from repro.trace.stream import StreamedTrace
+from repro.utils.npcompat import (
+    BACKEND_ENV,
+    BACKEND_SCALAR,
+    BACKEND_VECTOR,
+    HAVE_NUMPY,
+    resolve_backend,
+)
+
+TRACE_LEN = 2500
+
+KERNEL_SETS = {
+    "asan": ("asan",),
+    "pmc+shadow": ("pmc", "shadow_stack"),
+}
+
+
+def build_system(kernel_names, engines):
+    kernels = [make_kernel(name) for name in kernel_names]
+    return FireGuardSystem(
+        kernels,
+        engines_per_kernel={name: engines for name in kernel_names})
+
+
+def run_three_ways(make_system, trace_factory):
+    """Dense/scalar, event/scalar and event/vector results for one
+    configuration; each session gets a fresh system and trace source
+    (streamed sources are forward-only, so no sharing)."""
+    results = {}
+    for label, dense, backend in (
+            ("dense", True, BACKEND_SCALAR),
+            ("event", False, BACKEND_SCALAR),
+            ("vector", False, BACKEND_VECTOR)):
+        session = SimulationSession(make_system(), dense=dense,
+                                    backend=backend)
+        results[label] = session.run(trace_factory())
+    return results
+
+
+def assert_identical(results):
+    assert results["dense"] == results["event"], \
+        "event loop diverged from dense"
+    assert results["dense"] == results["vector"], \
+        "vector backend diverged from dense"
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector backend needs numpy")
+class TestIdentityGrid:
+    """The satellite grid: {2 benchmarks × 2 kernel sets × 4/12
+    engines × in-memory/streamed}, three loops per cell."""
+
+    @pytest.mark.parametrize("bench", ["swaptions", "dedup"])
+    @pytest.mark.parametrize("kernel_set", sorted(KERNEL_SETS))
+    @pytest.mark.parametrize("engines", [4, 12])
+    def test_in_memory(self, bench, kernel_set, engines):
+        names = KERNEL_SETS[kernel_set]
+        trace = generate_trace(PARSEC_PROFILES[bench], seed=11,
+                               length=TRACE_LEN)
+        assert_identical(run_three_ways(
+            lambda: build_system(names, engines), lambda: trace))
+
+    @pytest.mark.parametrize("bench", ["swaptions", "dedup"])
+    @pytest.mark.parametrize("kernel_set", sorted(KERNEL_SETS))
+    @pytest.mark.parametrize("engines", [4, 12])
+    def test_streamed(self, bench, kernel_set, engines, tmp_path):
+        names = KERNEL_SETS[kernel_set]
+        trace = generate_trace(PARSEC_PROFILES[bench], seed=11,
+                               length=TRACE_LEN)
+        path = tmp_path / "t.fgt"
+        save_trace(trace, path)
+        results = run_three_ways(
+            lambda: build_system(names, engines),
+            lambda: StreamedTrace(path, chunk_records=512))
+        assert_identical(results)
+        # Streaming itself must not change the answer either.
+        in_memory = SimulationSession(
+            build_system(names, engines), dense=False,
+            backend=BACKEND_VECTOR).run(trace)
+        assert results["vector"] == in_memory
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector backend needs numpy")
+class TestAttackIdentity:
+    """Verdicts — not just timing — must survive vectorization: the
+    pre-check plans may only ever over-approximate 'interesting'."""
+
+    @pytest.mark.parametrize("kernel,bench,kind", [
+        ("asan", "dedup", AttackKind.OOB_ACCESS),
+        ("pmc", "ferret", AttackKind.PMC_BOUND),
+        ("shadow_stack", "bodytrack", AttackKind.RET_HIJACK),
+    ])
+    def test_attack_detections_identical(self, kernel, bench, kind):
+        from repro.kernels.pmc import DEFAULT_BOUND_HI, DEFAULT_BOUND_LO
+
+        trace = generate_trace(PARSEC_PROFILES[bench], seed=31,
+                               length=5000)
+        inject_attacks(trace, kind, 8,
+                       pmc_bounds=(DEFAULT_BOUND_LO, DEFAULT_BOUND_HI))
+        results = run_three_ways(
+            lambda: build_system((kernel,), 4), lambda: trace)
+        assert_identical(results)
+        assert results["vector"].detections == \
+            results["dense"].detections
+
+    def test_asan_accelerator_identical(self):
+        trace = generate_trace(PARSEC_PROFILES["dedup"], seed=31,
+                               length=5000)
+        inject_attacks(trace, AttackKind.OOB_ACCESS, 8)
+
+        def ha_system():
+            return FireGuardSystem([make_kernel("asan")],
+                                   accelerated={"asan"})
+
+        results = run_three_ways(ha_system, lambda: trace)
+        assert_identical(results)
+        assert results["vector"].detections
+
+
+class TestBackendResolution:
+    def test_constructor_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, BACKEND_VECTOR)
+        session = SimulationSession(build_system(("pmc",), 2),
+                                    backend=BACKEND_SCALAR)
+        assert session.backend == BACKEND_SCALAR
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, BACKEND_SCALAR)
+        session = SimulationSession(build_system(("pmc",), 2))
+        assert session.backend == BACKEND_SCALAR
+
+    @pytest.mark.skipif(not HAVE_NUMPY,
+                        reason="vector default needs numpy")
+    def test_vector_is_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        session = SimulationSession(build_system(("pmc",), 2))
+        assert session.backend == BACKEND_VECTOR
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("simd")
+
+    def test_scalar_backend_runs_without_plans(self):
+        trace = generate_trace(PARSEC_PROFILES["swaptions"], seed=11,
+                               length=TRACE_LEN)
+        scalar = SimulationSession(build_system(("asan",), 4),
+                                   backend=BACKEND_SCALAR).run(trace)
+        dense = SimulationSession(build_system(("asan",), 4),
+                                  dense=True,
+                                  backend=BACKEND_SCALAR).run(trace)
+        assert scalar == dense
