@@ -30,11 +30,16 @@ rate recorded in the trend for the same configuration.
 import json
 import os
 import resource
-import subprocess
 import time
 from pathlib import Path
 
-from conftest import bench_set
+from conftest import (
+    PERF_GATE,
+    PERF_GATE_DROP,
+    bench_set,
+    load_trend,
+    trend_stamp,
+)
 
 from repro.core.system import FireGuardSystem
 from repro.kernels import make_kernel
@@ -57,10 +62,6 @@ MIN_SPEEDUP = 1.0 if STRICT else 0.85
 # of the kind this gate exists for (the pre-adaptive 4-engine event
 # loop ran ~12 % slow) clears the allowance with margin.
 JITTER = 0.05
-# Opt-in trend gate: fail when the vector cycle rate regresses more
-# than this fraction below the best recorded rate for the same config.
-PERF_GATE = os.environ.get("REPRO_PERF_GATE", "") == "1"
-PERF_GATE_DROP = 0.15
 
 
 def _out_path() -> Path:
@@ -68,17 +69,6 @@ def _out_path() -> Path:
     if override:
         return Path(override)
     return Path(__file__).resolve().parent.parent / "BENCH_sched.json"
-
-
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=Path(__file__).resolve().parent,
-        ).stdout.strip() or "unknown"
-    except OSError:
-        return "unknown"
 
 
 def _sessions(engines: int):
@@ -193,34 +183,32 @@ def _measure_gated(engines: int) -> dict:
 def _load_trend(path: Path) -> list[dict]:
     """Existing trend entries, migrating any pre-trend snapshot rows
     (the overwrite-era format) into backend-tagged entries once."""
-    if not path.exists():
-        return []
+    trend = load_trend(path)
+    if trend or not path.exists():
+        return trend
     try:
         data = json.loads(path.read_text())
     except (OSError, ValueError):
         return []
-    trend = list(data.get("trend", []))
-    if not trend:
-        for row in data.get("rows", []):
-            if "event_s" in row:  # overwrite-era schema
-                trend.append({
-                    "git_sha": "pre-trend", "date": None,
-                    "backend": "scalar", "engines": row.get("engines"),
-                    "trace_len": row.get("trace_len"),
-                    "dense_s": row.get("dense_s"),
-                    "seconds": row.get("event_s"),
-                    "speedup": row.get("speedup"),
-                })
+    for row in data.get("rows", []):
+        if "event_s" in row:  # overwrite-era schema
+            trend.append({
+                "git_sha": "pre-trend", "date": None,
+                "backend": "scalar", "engines": row.get("engines"),
+                "trace_len": row.get("trace_len"),
+                "dense_s": row.get("dense_s"),
+                "seconds": row.get("event_s"),
+                "speedup": row.get("speedup"),
+            })
     return trend
 
 
-def _trend_entries(rows: list[dict], sha: str, date: str) -> list[dict]:
+def _trend_entries(rows: list[dict], stamp: dict) -> list[dict]:
     entries = []
     for row in rows:
         for backend in ("scalar", "vector"):
             entry = {
-                "git_sha": sha,
-                "date": date,
+                **stamp,
                 "backend": backend,
                 "engines": row["engines"],
                 "trace_len": row["trace_len"],
@@ -275,8 +263,7 @@ def test_backend_speedups_and_trend(benchmark):
     trend = _load_trend(out)
     if PERF_GATE:
         _check_perf_gate(rows, trend)
-    trend.extend(_trend_entries(
-        rows, _git_sha(), time.strftime("%Y-%m-%d")))
+    trend.extend(_trend_entries(rows, trend_stamp()))
     # Peak RSS rides along so the bounded-memory trajectory (see
     # bench_stream.py) is tracked across every BENCH_* artifact.
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss

@@ -15,6 +15,12 @@ acceptance bar is a >= 5x warm speedup; loading a few JSON documents
 beats a few hundred thousand simulated cycles by far more than that
 on any machine, so the default gate is strict (set
 ``REPRO_SERVICE_STRICT=0`` to only guard against gross regression).
+
+Every run *appends* one trend entry — git SHA, date, cold/warm
+seconds, warm answer rate — so the artifact accumulates the store's
+perf trajectory across PRs; under ``REPRO_PERF_GATE=1`` the run fails
+if the warm answer rate (specs served per second) drops more than
+15 % below the best recorded rate for the same grid shape.
 """
 
 import json
@@ -23,7 +29,13 @@ import tempfile
 import time
 from pathlib import Path
 
-from conftest import bench_set
+from conftest import (
+    PERF_GATE,
+    PERF_GATE_DROP,
+    bench_set,
+    load_trend,
+    trend_stamp,
+)
 
 from repro.runner import simulations_executed, sweep
 from repro.runner import worker as runner_worker
@@ -71,6 +83,7 @@ def test_cold_vs_warm_store():
     assert second == first  # store round trip is bit-identical
 
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    warm_rate = len(specs) / warm_s if warm_s > 0 else float("inf")
     payload = {
         "grid_specs": len(specs),
         "benchmarks": list(bench_set()),
@@ -78,10 +91,29 @@ def test_cold_vs_warm_store():
         "cold_s": round(cold_s, 3),
         "warm_s": round(warm_s, 3),
         "speedup": round(speedup, 1),
+        "warm_rate": round(warm_rate, 1),
         "warm_simulations": 0,
         "strict": STRICT,
     }
-    _out_path().write_text(json.dumps(payload, indent=2) + "\n")
+    out = _out_path()
+    trend = load_trend(out)
+    if PERF_GATE:
+        reference = [entry.get("warm_rate") for entry in trend
+                     if entry.get("grid_specs") == len(specs)
+                     and entry.get("trace_len") == TRACE_LEN
+                     and entry.get("warm_rate")]
+        if reference:
+            floor = max(reference) * (1.0 - PERF_GATE_DROP)
+            assert warm_rate >= floor, (
+                f"warm store answer rate regressed: {warm_rate:.1f} "
+                f"specs/s vs best recorded {max(reference)}/s "
+                f"(floor {floor:.1f}/s)")
+    trend.append({**trend_stamp(),
+                  **{k: payload[k] for k in (
+                      "grid_specs", "trace_len", "cold_s", "warm_s",
+                      "speedup", "warm_rate")}})
+    out.write_text(json.dumps({**payload, "trend": trend},
+                              indent=2) + "\n")
     print(f"\ncold {cold_s:.2f}s -> warm {warm_s:.3f}s "
           f"({speedup:.0f}x, {len(specs)} specs)")
     assert speedup >= MIN_SPEEDUP, payload

@@ -11,6 +11,11 @@ recorded for the artifact trajectory.
 
 Results go to ``BENCH_stream.json`` (repo root or
 ``REPRO_BENCH_OUT_STREAM``), uploaded by the CI bench-smoke job.
+Every run *appends* one trend entry per streamed scale — tagged with
+git SHA and date — so the artifact accumulates the memory trajectory
+across PRs; under ``REPRO_PERF_GATE=1`` the run fails if a streamed
+traced peak grows more than 15 % above the best (lowest) recorded
+entry for the same scale.
 """
 
 import json
@@ -18,6 +23,8 @@ import os
 import subprocess
 import sys
 from pathlib import Path
+
+from conftest import PERF_GATE, PERF_GATE_DROP, load_trend, trend_stamp
 
 _CHILD = Path(__file__).resolve().parent / "_stream_child.py"
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -43,6 +50,25 @@ def _measure(mode: str, repeats: int, tmp_path: Path) -> dict:
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
+def _check_perf_gate(cells: dict, trend: list[dict]) -> None:
+    """Fail when a streamed traced peak grows >15 % above the best
+    (lowest) peak the trend has recorded for the same scale."""
+    for repeats in (1, SCALE):
+        row = cells[("stream", repeats)]
+        reference = [entry.get("traced_peak_bytes") for entry in trend
+                     if entry.get("mode") == "stream"
+                     and entry.get("repeats") == repeats
+                     and entry.get("records") == row["records"]
+                     and entry.get("traced_peak_bytes")]
+        if not reference:
+            continue
+        ceiling = min(reference) * (1.0 + PERF_GATE_DROP)
+        assert row["traced_peak_bytes"] <= ceiling, (
+            f"streamed traced peak regressed at {repeats}x: "
+            f"{row['traced_peak_bytes']} bytes vs best recorded "
+            f"{min(reference)} (ceiling {ceiling:.0f})")
+
+
 def test_streamed_memory_bounded(tmp_path, benchmark):
     cells = {(mode, repeats): _measure(mode, repeats, tmp_path)
              for mode in ("stream", "inmem")
@@ -53,8 +79,24 @@ def test_streamed_memory_bounded(tmp_path, benchmark):
         _measure, args=("stream", 1, tmp_path), rounds=1,
         iterations=1)["cycles"] > 0
 
-    _out_path().write_text(json.dumps(
-        {"rows": list(cells.values())}, indent=2) + "\n")
+    out = _out_path()
+    trend = load_trend(out)
+    if PERF_GATE:
+        _check_perf_gate(cells, trend)
+    stamp = trend_stamp()
+    for repeats in (1, SCALE):
+        row = cells[("stream", repeats)]
+        trend.append({
+            **stamp,
+            "mode": "stream",
+            "repeats": repeats,
+            "records": row["records"],
+            "traced_peak_bytes": row["traced_peak_bytes"],
+            "maxrss_kb": row["maxrss_kb"],
+        })
+    out.write_text(json.dumps(
+        {"rows": list(cells.values()), "trend": trend},
+        indent=2) + "\n")
 
     # Bit-identity between the pipelines, at both scales.
     for repeats in (1, SCALE):

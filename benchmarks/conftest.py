@@ -10,11 +10,22 @@ a reduced trace length; set ``REPRO_BENCH_SET=full`` and/or
 ``REPRO_TRACE_LEN=<n>`` for the full sweep.
 """
 
+import json
 import os
+import subprocess
+import time
+from pathlib import Path
 
 os.environ.setdefault("REPRO_TRACE_LEN", "6000")
 
 FAST_BENCHMARKS = ("swaptions", "dedup", "x264")
+
+#: Opt-in perf trend gate, shared by every BENCH_* harness that keeps
+#: a trend array: when "1", a run fails if its tracked metric
+#: regresses more than PERF_GATE_DROP beyond the best recorded entry
+#: for the same configuration.
+PERF_GATE = os.environ.get("REPRO_PERF_GATE", "") == "1"
+PERF_GATE_DROP = 0.15
 
 
 def bench_set() -> tuple[str, ...]:
@@ -23,3 +34,31 @@ def bench_set() -> tuple[str, ...]:
     if os.environ.get("REPRO_BENCH_SET", "fast") == "full":
         return PARSEC_BENCHMARKS
     return FAST_BENCHMARKS
+
+
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def trend_stamp() -> dict:
+    """The provenance fields every trend entry carries."""
+    return {"git_sha": git_sha(), "date": time.strftime("%Y-%m-%d")}
+
+
+def load_trend(path: Path) -> list[dict]:
+    """The accumulated ``trend`` array of a BENCH_* artifact ([] when
+    the file is missing, corrupt, or predates trends)."""
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return list(data.get("trend", []))

@@ -1,0 +1,44 @@
+"""Distributed execution fabric (DESIGN.md: fabric layer).
+
+A master/worker fleet behind the service
+:class:`~repro.service.client.Client`: the master queues submitted
+:class:`~repro.runner.spec.RunSpec`\\ s and leases them to registered
+workers, which execute through the unchanged
+:func:`repro.runner.worker.execute_spec` and stream records back —
+with heartbeats, lease re-queuing on worker death, cooperative
+cancellation over the wire, and read-through/write-back against the
+shared persistent :class:`~repro.service.store.ResultStore`.
+
+Point ``REPRO_FABRIC=host:port`` at a running master and every
+existing figure/table/ablation/scenario harness fans out over the
+fleet unchanged::
+
+    # terminal 1: the coordinator (shares ./results with the fleet)
+    python -m repro.fabric master --port 7951 --store results/
+
+    # terminals 2..n: the fleet
+    python -m repro.fabric worker 127.0.0.1:7951
+
+    # terminal n+1: any harness, now fleet-backed
+    REPRO_FABRIC=127.0.0.1:7951 python -m repro.experiments fig11
+
+Records are bit-identical to the serial in-process path — including
+across injected worker deaths — and a warm store re-serves whole
+grids without granting a single lease; ``tests/test_fabric.py`` holds
+both lines.
+"""
+
+from repro.fabric.master import FabricMaster
+from repro.fabric.protocol import PROTO_VERSION, Connection, parse_address
+from repro.fabric.remote import ENV_FABRIC, FabricExecutor
+from repro.fabric.worker import FabricWorker
+
+__all__ = [
+    "Connection",
+    "ENV_FABRIC",
+    "FabricExecutor",
+    "FabricMaster",
+    "FabricWorker",
+    "PROTO_VERSION",
+    "parse_address",
+]

@@ -1,0 +1,101 @@
+"""Fabric fleet CLI.
+
+::
+
+    python -m repro.fabric master [--host H] [--port P] [--store DIR]
+                                  [--lease-ttl S] [--max-retries N]
+    python -m repro.fabric worker HOST:PORT [--die-after-leases N]
+    python -m repro.fabric stats HOST:PORT
+    python -m repro.fabric shutdown HOST:PORT
+
+``master`` serves until a ``shutdown`` request arrives (or SIGINT);
+``stats`` prints the master's live counters as JSON (what the CI
+fabric-smoke job uploads as its artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.fabric.master import FabricMaster
+from repro.fabric.protocol import PROTO_VERSION, Connection, parse_address
+from repro.fabric.worker import FabricWorker
+
+
+def _client_request(address: str, message: dict) -> dict:
+    host, port = parse_address(address)
+    with Connection.connect(host, port) as conn:
+        conn.request({"type": "hello", "role": "client",
+                      "proto": PROTO_VERSION})
+        return conn.request(message)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.fabric")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    master = sub.add_parser("master", help="run the fleet coordinator")
+    master.add_argument("--host", default="127.0.0.1")
+    master.add_argument("--port", type=int, default=7951)
+    master.add_argument("--store", default=None,
+                        help="shared result-store directory "
+                             "(default: REPRO_RESULT_STORE)")
+    master.add_argument("--lease-ttl", type=float, default=None)
+    master.add_argument("--max-retries", type=int, default=None)
+
+    worker = sub.add_parser("worker", help="join a fleet")
+    worker.add_argument("address", help="master HOST:PORT")
+    worker.add_argument("--die-after-leases", type=int, default=None,
+                        help="fault injection: hard-exit after "
+                             "accepting N leases")
+
+    for name, help_text in (("stats", "print master stats as JSON"),
+                            ("shutdown", "stop a running master")):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("address", help="master HOST:PORT")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "master":
+        node = FabricMaster(host=args.host, port=args.port,
+                            store=args.store,
+                            lease_ttl=args.lease_ttl,
+                            max_retries=args.max_retries).start()
+        print(f"fabric master on {node.address} "
+              f"(lease_ttl={node.lease_ttl}s, "
+              f"store={node.store.root if node.store else None})",
+              file=sys.stderr, flush=True)
+        try:
+            node.serve_forever()
+        except KeyboardInterrupt:
+            node.stop()
+        return 0
+
+    if args.command == "worker":
+        member = FabricWorker(args.address,
+                              die_after_leases=args.die_after_leases)
+        try:
+            member.run()
+        except KeyboardInterrupt:
+            member.stop()
+        print(f"worker {member.worker_id}: {member.records_sent} "
+              f"records from {member.leases_taken} leases",
+              file=sys.stderr)
+        return 0
+
+    if args.command == "stats":
+        print(json.dumps(_client_request(
+            args.address, {"type": "stats"})["stats"], indent=2))
+        return 0
+
+    # shutdown
+    _client_request(args.address, {"type": "shutdown"})
+    print(f"master at {args.address} asked to shut down",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Wire protocol of the execution fabric.
+
+One frame = a 4-byte big-endian length prefix followed by a canonical
+JSON object (the same byte-stable encoding the result store uses, so
+identical messages are identical bytes under any ``PYTHONHASHSEED``).
+Every exchange is strict request/reply — the discipline ARTIQ's DRTIO
+master/satellite aux packets use: the requester sends one frame and
+blocks for exactly one reply frame, so a connection never carries
+interleaved unsolicited traffic and a partner death surfaces as EOF at
+a frame boundary.
+
+Message objects are plain dicts with a ``type`` field; replies carry
+``ok`` (True/False) plus type-specific payload, and transport-level
+trouble (short read, oversized frame, undecodable JSON) raises
+:class:`~repro.errors.FabricError` rather than returning a frame.
+
+The full message inventory and the lease lifecycle they drive are
+documented in DESIGN.md (fabric layer).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+from repro.errors import FabricError
+from repro.service.serialization import canonical_dumps
+
+__all__ = [
+    "Connection",
+    "MAX_FRAME",
+    "PROTO_VERSION",
+    "parse_address",
+]
+
+#: Bump on any incompatible frame-layout or message-shape change; a
+#: ``hello`` carrying a different stamp is refused at registration.
+PROTO_VERSION = 1
+
+#: Upper bound on one frame's payload — far above any real record
+#: document, so a corrupted length prefix fails fast instead of
+#: attempting a multi-gigabyte read.
+MAX_FRAME = 64 << 20
+
+_HEADER = struct.Struct("!I")
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (the ``REPRO_FABRIC``
+    format)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise FabricError(
+            f"fabric address {address!r} is not host:port")
+    return host, int(port)
+
+
+class Connection:
+    """One framed, request/reply socket endpoint.
+
+    Thread-safe: :meth:`request` holds a lock across its send/receive
+    pair, so a worker's heartbeat thread and its execution loop can
+    share one connection without interleaving frames.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._lock = threading.RLock()
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float | None = 10.0) -> "Connection":
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=timeout)
+        except OSError as exc:
+            raise FabricError(
+                f"cannot reach fabric master at {host}:{port}: "
+                f"{exc}") from exc
+        sock.settimeout(None)
+        return cls(sock)
+
+    # -- framing -----------------------------------------------------------
+    def send(self, message: dict) -> None:
+        payload = canonical_dumps(message)
+        frame = _HEADER.pack(len(payload)) + payload
+        with self._lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                raise FabricError(
+                    f"fabric connection lost while sending "
+                    f"{message.get('type')!r}: {exc}") from exc
+
+    def _read_exact(self, n: int) -> bytes | None:
+        """``n`` bytes, or None on a clean EOF at a frame boundary."""
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                raise
+            except OSError as exc:
+                if self._closed:
+                    return None
+                raise FabricError(
+                    f"fabric connection lost mid-frame: {exc}") from exc
+            if not chunk:
+                if chunks:
+                    raise FabricError(
+                        "fabric connection closed mid-frame "
+                        f"({n - remaining}/{n} bytes)")
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """The next frame as a dict, or None when the peer closed the
+        connection cleanly.  ``timeout`` bounds the wait for the frame
+        *header* (``socket.timeout`` propagates so accept loops can
+        poll their stop flag)."""
+        self._sock.settimeout(timeout)
+        header = self._read_exact(_HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise FabricError(
+                f"fabric frame of {length} bytes exceeds the "
+                f"{MAX_FRAME}-byte limit (corrupt length prefix?)")
+        # The body follows immediately; never leave it half-read.
+        self._sock.settimeout(None)
+        payload = self._read_exact(length)
+        if payload is None:
+            raise FabricError("fabric connection closed before the "
+                              "frame body arrived")
+        try:
+            message = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FabricError(
+                f"undecodable fabric frame: {exc}") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise FabricError(
+                f"fabric frame is not a typed object: {message!r:.80}")
+        return message
+
+    def request(self, message: dict,
+                timeout: float | None = 60.0) -> dict:
+        """Send ``message`` and block for its reply; raises
+        :class:`~repro.errors.FabricError` when the peer vanishes or
+        answers ``ok: false``."""
+        with self._lock:
+            self.send(message)
+            try:
+                reply = self.recv(timeout)
+            except socket.timeout as exc:
+                raise FabricError(
+                    f"fabric master did not answer "
+                    f"{message.get('type')!r} within {timeout}s"
+                ) from exc
+        if reply is None:
+            raise FabricError(
+                f"fabric master closed the connection instead of "
+                f"answering {message.get('type')!r}")
+        if not reply.get("ok", False):
+            raise FabricError(
+                f"fabric request {message.get('type')!r} refused: "
+                f"{reply.get('error', 'no reason given')}")
+        return reply
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -30,7 +30,16 @@ has not started, and asks a running one to stop at its next checkpoint
 (trace materialisation, baseline, monitored run — see
 :func:`repro.runner.worker.execute_spec`).  Cross-process requests
 travel as marker files in a cancel directory (``REPRO_CANCEL_DIR`` or
-a per-client temporary directory).
+a per-client temporary directory).  Cancellation state is scoped to
+one *dispatch generation* of a key: handles that coalesced onto a
+doomed run all observe the cancellation, while a later resubmission of
+the same spec gets a fresh generation that the old cancel cannot touch
+(and vice versa — the resubmission cannot revive the doomed run).
+
+A third backend reaches beyond this host: ``REPRO_FABRIC=host:port``
+(or ``Client(fabric=...)``) dispatches uncached specs to a
+master/worker fleet (:mod:`repro.fabric`) instead of a local pool —
+same records, same cancellation semantics, network scale.
 """
 
 from __future__ import annotations
@@ -54,6 +63,30 @@ __all__ = ["Client", "ClientStats", "RunHandle", "default_client"]
 
 #: Environment variable naming a shared cancellation directory.
 ENV_CANCEL_DIR = "REPRO_CANCEL_DIR"
+
+#: ``host:port`` of a fabric master (mirrors
+#: :data:`repro.fabric.remote.ENV_FABRIC`; kept as a literal here so
+#: the service layer never imports the fabric until it is used).
+ENV_FABRIC = "REPRO_FABRIC"
+
+
+class _CancelToken:
+    """Cancellation state for one dispatch generation of one key.
+
+    The executing task closes over its own token, so a cancel always
+    reaches exactly the generation it was aimed at: every handle
+    coalesced onto that generation observes it, and a later
+    resubmission (which gets a new token) is untouched.
+    """
+
+    __slots__ = ("requested", "marker")
+
+    def __init__(self, marker: str):
+        self.requested = False
+        #: Marker-file name for cross-process delivery — generation
+        #: scoped, so clearing/creating one generation's marker never
+        #: affects another's.
+        self.marker = marker
 
 
 def _env_workers() -> int:
@@ -150,7 +183,8 @@ class RunHandle:
                 f"key={self.key[:12]}…, {state}, {self.source})")
 
 
-def _execute_chunk(specs: list[RunSpec], store_root: str | None,
+def _execute_chunk(items: list[tuple[RunSpec, str]],
+                   store_root: str | None,
                    cancel_dir: str | None) -> list[tuple]:
     """Pool-side unit of work: one same-system group of specs.
 
@@ -158,13 +192,13 @@ def _execute_chunk(specs: list[RunSpec], store_root: str | None,
     cancellation inside a chunk doesn't poison its siblings.  Each
     worker re-opens the store from its root (read-through catches
     records a sibling worker finished first) and polls the cancel
-    directory for marker files named by cache key.
+    directory for each spec's generation-scoped marker file.
     """
     store = ResultStore(store_root) if store_root else False
     out: list[tuple] = []
-    for spec in specs:
+    for spec, marker_name in items:
         if cancel_dir:
-            marker = Path(cancel_dir) / spec.cache_key()
+            marker = Path(cancel_dir) / marker_name
             cancel = marker.exists
         else:
             cancel = None
@@ -183,12 +217,17 @@ class Client:
     ``store`` — None opens ``REPRO_RESULT_STORE`` if set, ``False``
     disables persistence, a path or :class:`ResultStore` uses that
     store.  ``cache`` — keep completed records in memory and answer
-    repeat submissions without touching the store.
+    repeat submissions without touching the store.  ``fabric`` — None
+    reads ``REPRO_FABRIC`` (``host:port`` of a fleet master), ``False``
+    forces local execution even when the variable is set, a string is
+    the master's address; when active, uncached specs are dispatched
+    to the fleet instead of a local thread/pool backend.
     """
 
     def __init__(self, workers: int | None = None,
                  store: "ResultStore | str | Path | bool | None" = None,
-                 cache: bool = True):
+                 cache: bool = True,
+                 fabric: "str | bool | None" = None):
         self.workers = workers
         if store is None:
             self.store = ResultStore.from_env()
@@ -198,12 +237,20 @@ class Client:
             self.store = ResultStore(store)
         else:
             self.store = store
+        if fabric is None:
+            self.fabric_address = os.environ.get(ENV_FABRIC) or None
+        elif fabric is False:
+            self.fabric_address = None
+        else:
+            self.fabric_address = fabric
         self.stats = ClientStats()
         self._cache: dict[str, RunRecord] | None = {} if cache else None
         self._inflight: dict[str, futures.Future] = {}
-        self._cancelled: set[str] = set()
+        self._tokens: dict[str, _CancelToken] = {}
+        self._generations: dict[str, int] = {}
         self._lock = threading.RLock()
         self._executor: futures.Executor | None = None
+        self._fabric = None  # lazily created FabricExecutor
         self._pooled = False
         self._cancel_dir: Path | None = None
         self._own_cancel_dir = False
@@ -221,13 +268,17 @@ class Client:
         ``wait`` is False."""
         with self._lock:
             executor, self._executor = self._executor, None
+            fabric, self._fabric = self._fabric, None
             self._closed = True
             inflight = list(self._inflight.values())
             if not wait:
                 # Ask running work to stop at its next checkpoint and
                 # withdraw anything still queued, so no handle is left
                 # waiting on a torn-down backend.
-                self._cancelled.update(self._inflight)
+                for token in self._tokens.values():
+                    token.requested = True
+        if fabric is not None:
+            fabric.close()
         if executor is not None:
             executor.shutdown(wait=wait, cancel_futures=not wait)
         if not wait:
@@ -238,14 +289,18 @@ class Client:
             self._cancel_dir = None
 
     def shrink(self, wait: bool = True) -> None:
-        """Release the execution backend (worker processes/thread) but
-        keep the client usable: caches, store connection and stats
-        survive, and the next dispatch recreates the backend.  The
-        deprecated ``SweepRunner`` facade calls this after each batch
-        to match the historical pool-per-run resource profile."""
+        """Release the execution backend (worker processes/thread,
+        fabric connection) but keep the client usable: caches, store
+        connection and stats survive, and the next dispatch recreates
+        the backend.  The deprecated ``SweepRunner`` facade calls this
+        after each batch to match the historical pool-per-run resource
+        profile."""
         with self._lock:
             executor, self._executor = self._executor, None
+            fabric, self._fabric = self._fabric, None
             self._pooled = False
+        if fabric is not None:
+            fabric.close()
         if executor is not None:
             executor.shutdown(wait=wait)
 
@@ -280,25 +335,50 @@ class Client:
                     self._own_cancel_dir = True
         return self._executor
 
+    def _ensure_fabric(self):
+        """The lazily-connected fleet backend (import deferred so the
+        service layer stays import-light without a fabric)."""
+        if self._closed:
+            raise ReproError("client is closed")
+        if self._fabric is None:
+            from repro.fabric.remote import FabricExecutor
+
+            self._fabric = FabricExecutor(self.fabric_address)
+        return self._fabric
+
+    def fabric_stats(self) -> dict:
+        """Live counters/roster of the connected fabric master."""
+        if self.fabric_address is None:
+            raise ReproError("no fabric is configured "
+                             f"(set {ENV_FABRIC} or fabric=)")
+        return self._ensure_fabric().stats()
+
     # -- cancellation ------------------------------------------------------
+    def _new_token(self, key: str) -> _CancelToken:
+        """A fresh cancellation generation for ``key`` (caller holds
+        the lock).  The old generation's token — still referenced by
+        any task already executing — is deliberately left untouched."""
+        generation = self._generations.get(key, 0) + 1
+        self._generations[key] = generation
+        token = _CancelToken(marker=f"{key}.g{generation}")
+        self._tokens[key] = token
+        return token
+
     def _request_cancel(self, key: str) -> None:
         with self._lock:
             self.stats.cancel_requests += 1
-            self._cancelled.add(key)
+            token = self._tokens.get(key)
+            if token is not None:
+                token.requested = True
             cancel_dir = self._cancel_dir
-        if cancel_dir is not None:
+            fabric = self._fabric
+        if token is not None and cancel_dir is not None:
             try:
-                (cancel_dir / key).touch()
+                (cancel_dir / token.marker).touch()
             except OSError:  # pragma: no cover - cancel is best-effort
                 pass
-
-    def _clear_cancel(self, key: str) -> None:
-        self._cancelled.discard(key)
-        if self._cancel_dir is not None:
-            try:
-                (self._cancel_dir / key).unlink()
-            except OSError:
-                pass
+        if fabric is not None:
+            fabric.cancel(key)
 
     # -- submission --------------------------------------------------------
     def submit(self, spec: RunSpec) -> RunHandle:
@@ -350,6 +430,10 @@ class Client:
         with self._lock:
             if self._inflight.get(key) is future:
                 del self._inflight[key]
+                # Retire this generation's token; a resubmission may
+                # already have installed a newer one, which the
+                # identity guard above leaves in place.
+                self._tokens.pop(key, None)
             if (self._cache is not None and not future.cancelled()
                     and future.exception() is None):
                 self._cache[key] = future.result()
@@ -372,8 +456,9 @@ class Client:
                     continue
                 shared = batch_futures.get(key) \
                     or self._inflight.get(key)
+                token = self._tokens.get(key)
                 if shared is not None and not shared.cancelled() \
-                        and key not in self._cancelled:
+                        and not (token is not None and token.requested):
                     # A cancel-requested in-flight run is doomed:
                     # don't attach new handles to it.
                     self.stats.coalesced += 1
@@ -396,7 +481,12 @@ class Client:
                 handles[index] = RunHandle(spec, key, future, self,
                                            "executed")
 
-            if pending and os.environ.get(ENV_REQUIRE_HIT) == "1":
+            if pending and os.environ.get(ENV_REQUIRE_HIT) == "1" \
+                    and self.fabric_address is None:
+                # With a fabric, enforcement moves to the fleet: the
+                # master's store read-through answers warm specs, and
+                # any spec that does reach a worker trips the same
+                # check inside execute_spec there.
                 missed = ", ".join(
                     f"{key[:12]}… ({spec.benchmark!r})"
                     for _, key, spec in pending[:4])
@@ -411,17 +501,28 @@ class Client:
                   batch_futures: dict[str, futures.Future]) -> None:
         """Send uncached specs to the backend (caller holds the
         lock)."""
-        executor = self._ensure_executor()
         self.stats.executed += len(pending)
+        tokens: dict[str, _CancelToken] = {}
         for _, key, _spec in pending:
-            self._clear_cancel(key)
+            tokens[key] = self._new_token(key)
             self._inflight[key] = batch_futures[key]
             self._finalize(key, batch_futures[key])
+
+        if self.fabric_address is not None:
+            # Fleet backend: one submit request to the master; the
+            # executor's poller resolves the futures as workers
+            # finish.  Cancellation rides _request_cancel -> master.
+            self._ensure_fabric().dispatch(
+                [(key, spec) for _, key, spec in pending],
+                {key: batch_futures[key] for _, key, _ in pending})
+            return
+
+        executor = self._ensure_executor()
         store = self.store if self.store is not None else False
         if not self._pooled:
             for _, key, spec in pending:
                 executor.submit(self._run_local, key, spec, store,
-                                batch_futures[key])
+                                batch_futures[key], tokens[key])
             return
 
         # Pool backend: same-system specs grouped into chunks so each
@@ -449,24 +550,27 @@ class Client:
             for _, key, _spec in group:
                 batch_futures[key].set_running_or_notify_cancel()
             chunk_future = executor.submit(
-                _execute_chunk, [spec for _, _, spec in group],
+                _execute_chunk,
+                [(spec, tokens[key].marker) for _, key, spec in group],
                 store_root, cancel_dir)
             slots = [(batch_futures[key], key) for _, key, _ in group]
             chunk_future.add_done_callback(
                 lambda done, slots=slots: self._distribute(done, slots))
 
     def _run_local(self, key: str, spec: RunSpec, store,
-                   outer: futures.Future) -> None:
+                   outer: futures.Future, token: _CancelToken) -> None:
         """Thread-backend unit of work: flips the handle future to
         RUNNING at actual start — so ``cancel()`` genuinely withdraws
         a queued run (this body is skipped) and falls back to the
-        cooperative checkpoint flag for a running one."""
+        cooperative checkpoint flag for a running one.  The flag is
+        this dispatch's own token, so a cancel aimed at it can never
+        leak into (or be erased by) a resubmission of the same key."""
         if not outer.set_running_or_notify_cancel():
             return  # withdrawn while still queued
         try:
             record = execute_spec(
                 spec, store=store,
-                cancel=lambda: key in self._cancelled)
+                cancel=lambda: token.requested)
         except BaseException as exc:
             outer.set_exception(exc)
         else:

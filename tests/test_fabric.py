@@ -1,0 +1,310 @@
+"""The distributed execution fabric: wire protocol, fleet-vs-serial
+differential identity, worker-death recovery, heartbeat eviction,
+master restart over a warm store, and cancellation over the wire."""
+
+import contextlib
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FabricError, RunCancelled
+from repro.fabric import (
+    Connection,
+    FabricMaster,
+    FabricWorker,
+    PROTO_VERSION,
+    parse_address,
+)
+from repro.runner import RunSpec, simulations_executed
+from repro.runner import worker as runner_worker
+from repro.service import Client, ResultStore
+from repro.service.serialization import spec_to_dict
+
+LEN = 1200
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def grid():
+    return [RunSpec(benchmark=bench, kernels=kset, length=LEN)
+            for bench in ("swaptions", "dedup")
+            for kset in (("pmc",), ("asan", "pmc"))]
+
+
+def serial_records(specs):
+    with Client(workers=1, store=False, cache=False) as client:
+        return client.run(specs)
+
+
+@contextlib.contextmanager
+def fleet(master, count, store):
+    """``count`` in-process workers attached to ``master`` (the
+    subprocess path is exercised separately by the kill test)."""
+    workers = [FabricWorker(master.address, store=store)
+               for _ in range(count)]
+    threads = [threading.Thread(target=worker.run, daemon=True,
+                                name=f"test-worker-{i}")
+               for i, worker in enumerate(workers)]
+    for thread in threads:
+        thread.start()
+    try:
+        yield workers
+    finally:
+        for worker in workers:
+            worker.stop()
+        for thread in threads:
+            thread.join(timeout=30)
+
+
+def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestProtocol:
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7951") == ("127.0.0.1", 7951)
+        for bad in ("", "nohost", ":7951", "host:", "host:seven"):
+            with pytest.raises(FabricError):
+                parse_address(bad)
+
+    def test_frame_round_trip_and_clean_eof(self):
+        left_sock, right_sock = socket.socketpair()
+        left, right = Connection(left_sock), Connection(right_sock)
+        message = {"type": "x", "nested": {"b": [1, 2], "a": None}}
+        left.send(message)
+        assert right.recv(timeout=5) == message
+        left.close()
+        assert right.recv(timeout=5) is None  # EOF at frame boundary
+        right.close()
+
+    def test_untyped_frame_rejected(self):
+        left_sock, right_sock = socket.socketpair()
+        left, right = Connection(left_sock), Connection(right_sock)
+        left.send({"no_type_field": 1})
+        with pytest.raises(FabricError, match="typed"):
+            right.recv(timeout=5)
+        left.close()
+        right.close()
+
+    def test_master_refuses_bad_proto_and_unknown_types(self):
+        with FabricMaster(store=False) as master:
+            with Connection.connect(master.host, master.port) as conn:
+                with pytest.raises(FabricError, match="protocol"):
+                    conn.request({"type": "hello", "role": "worker",
+                                  "proto": PROTO_VERSION + 1})
+                conn.request({"type": "hello", "role": "client",
+                              "proto": PROTO_VERSION})
+                with pytest.raises(FabricError, match="unknown"):
+                    conn.request({"type": "bogus"})
+
+
+class TestFleetDifferentialIdentity:
+    def test_two_worker_fleet_matches_serial(self):
+        """Acceptance: a master + 2 workers produce records
+        bit-identical to the serial in-process path."""
+        specs = grid()
+        expected = serial_records(specs)
+        runner_worker.clear_caches()
+        with FabricMaster(store=False) as master:
+            with fleet(master, 2, store=False):
+                with Client(fabric=master.address, store=False,
+                            cache=False) as client:
+                    records = client.run(specs)
+                    assert client.stats.executed == len(specs)
+            stats = master.stats()
+        assert records == expected
+        assert stats["completed"] == len(specs)
+        assert stats["workers_registered"] == 2
+
+    def test_fleet_write_back_reaches_local_clients(self, tmp_path):
+        """Records simulated on the fleet land in the shared store and
+        answer a plain local client afterwards."""
+        spec = grid()[0]
+        store_dir = tmp_path / "store"
+        with FabricMaster(store=store_dir) as master:
+            with fleet(master, 1, store=ResultStore(store_dir)):
+                with Client(fabric=master.address, store=False,
+                            cache=False) as client:
+                    expected = client.run_one(spec)
+        runner_worker.clear_caches()
+        with Client(workers=1, store=store_dir, cache=False) as local:
+            assert local.run_one(spec) == expected
+            assert local.stats.executed == 0
+
+
+class TestFaultInjection:
+    def test_killed_worker_mid_lease_re_leases_bit_identical(self):
+        """Acceptance: a worker hard-killed after accepting a lease is
+        evicted, its lease re-queued, and the final records are still
+        bit-identical to the serial path."""
+        specs = grid()
+        expected = serial_records(specs)
+        runner_worker.clear_caches()
+        with FabricMaster(store=False, lease_ttl=10.0) as master:
+            with Client(fabric=master.address, store=False,
+                        cache=False) as client:
+                handles = client.submit_many(specs)
+                env = dict(os.environ)
+                env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+                    os.pathsep + env["PYTHONPATH"]
+                    if env.get("PYTHONPATH") else "")
+                env.pop("REPRO_RESULT_STORE", None)
+                doomed = subprocess.run(
+                    [sys.executable, "-m", "repro.fabric", "worker",
+                     master.address, "--die-after-leases", "1"],
+                    env=env, cwd=REPO_ROOT, timeout=180)
+                assert doomed.returncode == 17  # died as injected
+                assert wait_for(lambda: master.stats()
+                                ["workers_evicted"] >= 1)
+                with fleet(master, 1, store=False):
+                    records = [h.result(timeout=600) for h in handles]
+            stats = master.stats()
+        assert records == expected
+        assert stats["workers_evicted"] >= 1
+        assert stats["retries"] >= 1
+        assert stats["completed"] == len(specs)
+
+    def test_heartbeat_timeout_evicts_silent_worker(self):
+        """A worker that leases a task and then goes silent (wedged
+        but connected) is reaped after the lease TTL and its task goes
+        back to the head of the queue."""
+        spec = grid()[0]
+        with FabricMaster(store=False, lease_ttl=0.5) as master:
+            with Connection.connect(master.host, master.port) as cli:
+                cli.request({"type": "hello", "role": "client",
+                             "proto": PROTO_VERSION})
+                cli.request({"type": "submit", "specs": [
+                    {"key": spec.cache_key(),
+                     "spec": spec_to_dict(spec)}]})
+                silent = Connection.connect(master.host, master.port)
+                try:
+                    hello = silent.request(
+                        {"type": "hello", "role": "worker",
+                         "pid": 0, "proto": PROTO_VERSION})
+                    lease = silent.request(
+                        {"type": "lease",
+                         "worker_id": hello["worker_id"]})
+                    assert lease["lease"]["key"] == spec.cache_key()
+                    # No heartbeats from here on; connection stays
+                    # open, so only the reaper can notice.
+
+                    def evicted():
+                        return cli.request({"type": "stats"})["stats"][
+                            "workers_evicted"] >= 1
+
+                    assert wait_for(evicted, timeout=15.0)
+                    stats = cli.request({"type": "stats"})["stats"]
+                    assert stats["tasks"].get("queued") == 1
+                    assert stats["retries"] == 1
+                finally:
+                    silent.close()
+
+    def test_deterministic_failure_is_not_retried(self, monkeypatch):
+        """A spec that raises in execute_spec would raise identically
+        on any worker: the task fails once, with the worker's error,
+        and is never re-leased."""
+        import repro.fabric.worker as worker_mod
+
+        def boom(spec, store=None, cancel=None):
+            raise ValueError("deterministic kaboom")
+
+        monkeypatch.setattr(worker_mod, "execute_spec", boom)
+        with FabricMaster(store=False) as master:
+            with fleet(master, 1, store=False):
+                with Client(fabric=master.address, store=False,
+                            cache=False) as client:
+                    handle = client.submit(grid()[0])
+                    with pytest.raises(FabricError, match="kaboom"):
+                        handle.result(timeout=60)
+            stats = master.stats()
+        assert stats["failed"] == 1
+        assert stats["retries"] == 0
+
+
+class TestWarmMasterRestart:
+    def test_restart_over_warm_store_serves_without_leases(
+            self, tmp_path):
+        """Acceptance: a restarted master over the shared store
+        re-serves a whole grid at submit time — zero leases, zero
+        simulations, bit-identical records — with not one worker
+        attached."""
+        specs = grid()
+        store_dir = tmp_path / "store"
+        with FabricMaster(store=store_dir) as master:
+            with fleet(master, 2, store=ResultStore(store_dir)):
+                with Client(fabric=master.address, store=False,
+                            cache=False) as client:
+                    first = client.run(specs)
+        runner_worker.clear_caches()
+        before = simulations_executed()
+        with FabricMaster(store=store_dir) as reborn:
+            with Client(fabric=reborn.address, store=False,
+                        cache=False) as client:
+                second = client.run(specs)
+            stats = reborn.stats()
+        assert second == first
+        assert stats["leases_granted"] == 0
+        assert stats["store_hits"] == len(specs)
+        assert stats["store"]["entries"] == len(specs)
+        assert simulations_executed() == before
+
+    def test_require_store_hit_enforced_by_fleet(self, tmp_path,
+                                                 monkeypatch):
+        """Under REPRO_REQUIRE_STORE_HIT=1 a fabric client defers
+        enforcement to the fleet: the master's store read-through
+        answers warm specs without the client-side refusal."""
+        specs = grid()[:2]
+        store_dir = tmp_path / "store"
+        with FabricMaster(store=store_dir) as master:
+            with fleet(master, 1, store=ResultStore(store_dir)):
+                with Client(fabric=master.address, store=False,
+                            cache=False) as cold:
+                    first = cold.run(specs)
+        runner_worker.clear_caches()
+        monkeypatch.setenv("REPRO_REQUIRE_STORE_HIT", "1")
+        with FabricMaster(store=store_dir) as reborn:
+            with Client(fabric=reborn.address, store=False,
+                        cache=False) as warm:
+                assert warm.run(specs) == first
+            assert reborn.stats()["leases_granted"] == 0
+
+
+class TestCancellationOverTheWire:
+    def test_cancel_queued_task_on_fleet(self):
+        """With no workers attached the task stays queued; cancel
+        resolves it instantly on the master and the handle raises."""
+        with FabricMaster(store=False) as master:
+            with Client(fabric=master.address, store=False,
+                        cache=False) as client:
+                handle = client.submit(grid()[0])
+                assert handle.cancel()
+                with pytest.raises(RunCancelled):
+                    handle.result(timeout=30)
+                assert handle.cancelled()
+            assert master.stats()["cancelled"] == 1
+
+    def test_cancelled_fleet_task_can_be_resubmitted(self):
+        """A resubmission after a fleet-side cancellation gets a fresh
+        retry budget and a record."""
+        spec = grid()[0]
+        with FabricMaster(store=False) as master:
+            with Client(fabric=master.address, store=False,
+                        cache=False) as client:
+                doomed = client.submit(spec)
+                doomed.cancel()
+                with pytest.raises(RunCancelled):
+                    doomed.result(timeout=30)
+                with fleet(master, 1, store=False):
+                    record = client.submit(spec).result(timeout=600)
+        assert record.result.cycles > 0

@@ -191,14 +191,16 @@ class TestCancellation:
 
     def test_pool_chunk_honours_cancel_markers(self, tmp_path):
         """The pool-side unit of work polls the cancel directory: a
-        marker named by cache key skips that spec without poisoning
-        its chunk siblings."""
+        generation-scoped marker skips that spec without poisoning its
+        chunk siblings."""
         from repro.service.client import _execute_chunk
 
         cancelled, survivor = grid()[0], grid()[1]
-        (tmp_path / cancelled.cache_key()).touch()
-        results = _execute_chunk([cancelled, survivor], None,
-                                 str(tmp_path))
+        (tmp_path / f"{cancelled.cache_key()}.g1").touch()
+        results = _execute_chunk(
+            [(cancelled, f"{cancelled.cache_key()}.g1"),
+             (survivor, f"{survivor.cache_key()}.g1")],
+            None, str(tmp_path))
         assert results[0] == ("cancelled", None)
         status, record = results[1]
         assert status == "ok"
@@ -216,6 +218,59 @@ class TestCancellation:
                 handle.result(timeout=30)
             record = client.submit(spec).result(timeout=120)
             assert record.result.cycles > 0
+
+    def test_cancel_propagates_to_coalesced_duplicates(self):
+        """Regression: duplicate submissions of one in-flight key
+        share a future, so cancelling any one handle must cancel every
+        coalesced duplicate — none may silently receive a record."""
+        spec = grid()[0]
+        gate = threading.Event()
+        with Client(workers=1, store=False) as client:
+            client._ensure_executor().submit(gate.wait, 30)
+            first = client.submit(spec)
+            duplicates = client.submit_many([spec, spec])
+            assert all(h.source == "coalesced" for h in duplicates)
+            assert duplicates[1].cancel()   # cancel via any duplicate
+            gate.set()
+            for handle in (first, *duplicates):
+                with pytest.raises(RunCancelled):
+                    handle.result(timeout=30)
+                assert handle.cancelled()
+
+    def test_resubmit_after_cancel_does_not_revive_old_run(
+            self, monkeypatch):
+        """Regression: resubmitting a key whose in-flight run was
+        cancelled used to clear the cancellation flag, reviving the
+        doomed run so the 'cancelled' handle silently received a
+        record.  Generations keep the two dispatches independent: the
+        old handle stays cancelled, the new one gets a record."""
+        import repro.service.client as client_mod
+
+        started = threading.Event()
+        release = threading.Event()
+        real = client_mod.execute_spec
+
+        def gated(spec, store=None, cancel=None):
+            started.set()
+            assert release.wait(30)
+            return real(spec, store=store, cancel=cancel)
+
+        monkeypatch.setattr(client_mod, "execute_spec", gated)
+        spec = grid()[0]
+        with Client(workers=1, store=False, cache=False) as client:
+            doomed = client.submit(spec)
+            assert started.wait(30)
+            assert doomed.cancel()
+            started.clear()
+            fresh = client.submit(spec)     # while doomed still runs
+            assert fresh.source == "executed"
+            release.set()
+            with pytest.raises(RunCancelled):
+                doomed.result(timeout=60)
+            assert doomed.cancelled()
+            record = fresh.result(timeout=120)
+            assert not fresh.cancelled()
+            assert record.result == fresh_serial(spec)
 
 
 class TestRequireStoreHit:
