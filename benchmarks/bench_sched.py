@@ -9,22 +9,31 @@ policy) — for both backends:
 * ``scalar``   — the default session (adaptive loop choice), scalar
   record-at-a-time execution;
 * ``vector``   — the default session with the vectorized backend
-  (columnar decode, precomputed filter plan, batched stall windows).
+  (columnar decode, precomputed filter plan, batched stall windows);
+* ``compiled`` — vector plus the hotpath kernels
+  (:mod:`repro.hotpath`); rows record whether the C-compiled build
+  was live (``hotpath_compiled``) or the bit-identical interpreted
+  fallback ran.
 
 Results land in ``BENCH_sched.json`` (repo root or
 ``REPRO_BENCH_OUT``): ``rows`` holds the latest snapshot, and every
 run *appends* one entry per (configuration, backend) to ``trend`` —
 tagged with git SHA, date and backend — so the artifact accumulates a
-perf trajectory across PRs instead of overwriting it.
+perf trajectory across PRs instead of overwriting it (re-runs at one
+commit replace their earlier same-configuration entry).
 
 Every timed pairing also asserts bit-identity, so the benchmark
 doubles as an end-to-end A/B check on real workloads, and every row
 asserts its speedup over dense — the "no configuration slower than
-dense" guarantee.
+dense" guarantee.  ``REPRO_PROFILE=1`` prints the session's
+per-component wall-time breakdown for the headline configuration.
 
-``REPRO_PERF_GATE=1`` additionally fails the run when the vector
-backend's simulated-cycle rate drops more than 15 % below the best
-rate recorded in the trend for the same configuration.
+``REPRO_PERF_GATE=1`` additionally fails the run when the vector or
+compiled simulated-cycle rate drops more than 15 % below the best
+rate recorded in the trend for the same configuration (compiled rates
+compare only against same-mode entries), and — when the C-compiled
+build is live — when compiled fails its ≥3x acceptance target over
+vector at the 12-µcore headline point.
 """
 
 import json
@@ -36,6 +45,7 @@ from pathlib import Path
 from conftest import (
     PERF_GATE,
     PERF_GATE_DROP,
+    append_trend,
     bench_set,
     load_trend,
     trend_stamp,
@@ -71,16 +81,25 @@ def _out_path() -> Path:
     return Path(__file__).resolve().parent.parent / "BENCH_sched.json"
 
 
+#: Backends timed against the dense reference (trend entry per each).
+BACKENDS = ("scalar", "vector", "compiled")
+#: Acceptance target for the C-compiled hotpath at the 12-µcore
+#: headline point: ≥3x the vector backend's wall-clock (gated only
+#: when a compiled artifact is live — the interpreted fallback is held
+#: to dense parity like every other configuration).
+COMPILED_TARGET = 3.0
+
+
 def _sessions(engines: int):
-    """(dense reference, adaptive scalar, adaptive vector) sessions on
-    identically built systems."""
+    """(dense reference, adaptive scalar, adaptive vector, adaptive
+    compiled) sessions on identically built systems."""
     def fresh(dense, backend):
         return SimulationSession(
             FireGuardSystem([make_kernel("asan")],
                             engines_per_kernel={"asan": engines}),
             dense=dense, backend=backend)
     return (fresh(True, "scalar"), fresh(None, "scalar"),
-            fresh(None, "vector"))
+            fresh(None, "vector"), fresh(None, "compiled"))
 
 
 def _run_all(session, traces):
@@ -93,11 +112,11 @@ def _run_all(session, traces):
 
 
 def _measure(engines: int) -> dict:
-    """Interleaved best-of-N timing of dense / scalar / vector over
-    the benchmark set; returns one snapshot row.
+    """Interleaved best-of-N timing of dense / scalar / vector /
+    compiled over the benchmark set; returns one snapshot row.
 
     One untimed warm-up pass first (interpreter and cache warm-up),
-    then each timed round measures all three strategies back to back,
+    then each timed round measures all four strategies back to back,
     rotating which goes first so no contender systematically lands on
     the noisy slice of a shared host.  Times and speedups both use
     best-of-rounds: scheduling noise only ever *adds* time, so the
@@ -107,27 +126,30 @@ def _measure(engines: int) -> dict:
     traces = [generate_trace(PARSEC_PROFILES[name], seed=5,
                              length=TRACE_LEN)
               for name in bench_set()]
-    dense_sess, scalar_sess, vector_sess = _sessions(engines)
+    dense_sess, scalar_sess, vector_sess, compiled_sess = \
+        _sessions(engines)
     reference = _run_all(dense_sess, traces)
     assert reference == _run_all(scalar_sess, traces), \
         f"scalar session diverged from dense at {engines} engines"
     assert reference == _run_all(vector_sess, traces), \
         f"vector backend diverged from dense at {engines} engines"
+    assert reference == _run_all(compiled_sess, traces), \
+        f"compiled backend diverged from dense at {engines} engines"
     sim_cycles = sum(result.cycles for result in reference)
 
     contenders = [(dense_sess, "dense"), (scalar_sess, "scalar"),
-                  (vector_sess, "vector")]
+                  (vector_sess, "vector"), (compiled_sess, "compiled")]
     best = {name: float("inf") for _, name in contenders}
     for round_index in range(ROUNDS):
-        order = (contenders[round_index % 3:]
-                 + contenders[:round_index % 3])
+        shift = round_index % len(contenders)
+        order = contenders[shift:] + contenders[:shift]
         for session, which in order:
             t0 = time.perf_counter()
             _run_all(session, traces)
             elapsed = time.perf_counter() - t0
             best[which] = min(best[which], elapsed)
     speedup = {which: best["dense"] / best[which]
-               for which in ("scalar", "vector")}
+               for which in BACKENDS}
 
     # Untimed pass to aggregate skip statistics across the whole set
     # (session reset zeroes counters between traces).
@@ -148,10 +170,17 @@ def _measure(engines: int) -> dict:
         "dense_s": round(best["dense"], 4),
         "scalar_s": round(best["scalar"], 4),
         "vector_s": round(best["vector"], 4),
+        "compiled_s": round(best["compiled"], 4),
         "scalar_speedup": round(speedup["scalar"], 4),
         "vector_speedup": round(speedup["vector"], 4),
+        "compiled_speedup": round(speedup["compiled"], 4),
+        "compiled_vs_vector": round(
+            best["vector"] / best["compiled"], 4),
+        "hotpath_compiled": compiled_sess.hotpath_compiled,
         "sim_cycles": sim_cycles,
         "vector_cycle_rate": round(sim_cycles / best["vector"], 1),
+        "compiled_cycle_rate": round(
+            sim_cycles / best["compiled"], 1),
         **totals,
     }
 
@@ -167,16 +196,19 @@ def _measure_gated(engines: int) -> dict:
     """
     row = _measure(engines)
     floor = MIN_SPEEDUP - JITTER
-    if min(row["scalar_speedup"], row["vector_speedup"]) >= floor:
+    if min(row[f"{which}_speedup"] for which in BACKENDS) >= floor:
         return row
     retry = _measure(engines)
-    for which in ("dense", "scalar", "vector"):
+    for which in ("dense", *BACKENDS):
         row[f"{which}_s"] = min(row[f"{which}_s"], retry[f"{which}_s"])
-    for which in ("scalar", "vector"):
+    for which in BACKENDS:
         key = f"{which}_speedup"
         row[key] = max(row[key], retry[key])
-    row["vector_cycle_rate"] = round(
-        row["sim_cycles"] / row["vector_s"], 1)
+    row["compiled_vs_vector"] = round(
+        row["vector_s"] / row["compiled_s"], 4)
+    for which in ("vector", "compiled"):
+        row[f"{which}_cycle_rate"] = round(
+            row["sim_cycles"] / row[f"{which}_s"], 1)
     return row
 
 
@@ -206,7 +238,7 @@ def _load_trend(path: Path) -> list[dict]:
 def _trend_entries(rows: list[dict], stamp: dict) -> list[dict]:
     entries = []
     for row in rows:
-        for backend in ("scalar", "vector"):
+        for backend in BACKENDS:
             entry = {
                 **stamp,
                 "backend": backend,
@@ -216,40 +248,78 @@ def _trend_entries(rows: list[dict], stamp: dict) -> list[dict]:
                 "seconds": row[f"{backend}_s"],
                 "speedup": row[f"{backend}_speedup"],
             }
-            if backend == "vector":
-                entry["cycle_rate"] = row["vector_cycle_rate"]
+            if backend in ("vector", "compiled"):
+                entry["cycle_rate"] = row[f"{backend}_cycle_rate"]
+            if backend == "compiled":
+                # Compiled rates are only comparable within one mode:
+                # the interpreted fallback is ~an order of magnitude
+                # off the C build, so entries carry the mode and the
+                # gate filters on it.
+                entry["hotpath_compiled"] = row["hotpath_compiled"]
+                entry["vs_vector"] = row["compiled_vs_vector"]
             entries.append(entry)
     return entries
 
 
 def _check_perf_gate(rows: list[dict], trend: list[dict]) -> None:
-    """Fail when the vector cycle rate regresses >15 % below the best
-    rate the trend has recorded for the same configuration."""
+    """Fail when the vector or compiled cycle rate regresses >15 %
+    below the best rate the trend has recorded for the same
+    configuration (and, for compiled, the same hotpath mode)."""
     for row in rows:
-        reference = [entry.get("cycle_rate") for entry in trend
-                     if entry.get("backend") == "vector"
-                     and entry.get("engines") == row["engines"]
-                     and entry.get("trace_len") == row["trace_len"]
-                     and entry.get("cycle_rate")]
-        if not reference:
-            continue
-        floor = max(reference) * (1.0 - PERF_GATE_DROP)
-        assert row["vector_cycle_rate"] >= floor, (
-            f"vector cycle rate regressed at {row['engines']} engines: "
-            f"{row['vector_cycle_rate']}/s vs best recorded "
-            f"{max(reference)}/s (floor {floor:.1f}/s)")
+        for backend in ("vector", "compiled"):
+            reference = [
+                entry.get("cycle_rate") for entry in trend
+                if entry.get("backend") == backend
+                and entry.get("engines") == row["engines"]
+                and entry.get("trace_len") == row["trace_len"]
+                and entry.get("cycle_rate")
+                and (backend != "compiled"
+                     or entry.get("hotpath_compiled")
+                     == row["hotpath_compiled"])]
+            if not reference:
+                continue
+            floor = max(reference) * (1.0 - PERF_GATE_DROP)
+            rate = row[f"{backend}_cycle_rate"]
+            assert rate >= floor, (
+                f"{backend} cycle rate regressed at "
+                f"{row['engines']} engines: {rate}/s vs best recorded "
+                f"{max(reference)}/s (floor {floor:.1f}/s)")
+
+
+def _print_profile(engines: int) -> None:
+    """One profiled run of the headline configuration: print the
+    session's per-component wall-time breakdown (``REPRO_PROFILE=1``
+    is read by the session constructor, so the sessions built here are
+    already wrapped)."""
+    trace = generate_trace(PARSEC_PROFILES[bench_set()[0]], seed=5,
+                           length=TRACE_LEN)
+    *_, compiled_sess = _sessions(engines)
+    compiled_sess.run(trace)
+    stats = compiled_sess.stats()
+    buckets = {key[len("profile_"):]: value
+               for key, value in stats.items()
+               if key.startswith("profile_")}
+    total = sum(buckets.values()) or 1.0
+    print(f"\nper-component profile ({engines} µcores, "
+          f"{bench_set()[0]}, compiled backend, "
+          f"hotpath_compiled={compiled_sess.hotpath_compiled}):")
+    for bucket, seconds in sorted(buckets.items(),
+                                  key=lambda item: -item[1]):
+        print(f"  {bucket:<10} {seconds * 1e3:9.2f} ms "
+              f"({100 * seconds / total:5.1f} %)")
 
 
 def test_backend_speedups_and_trend(benchmark):
     """The acceptance points: the vector backend beats dense at 12
-    µcores, no tracked configuration is slower than dense under either
-    backend, and the measurement lands in the trend artifact."""
+    µcores, no tracked configuration is slower than dense under any
+    backend (the compiled backend's interpreted fallback included),
+    and the measurement lands in the trend artifact."""
     row12 = _measure_gated(engines=12)
 
     # Give pytest-benchmark one representative timed run for its table.
     trace = generate_trace(PARSEC_PROFILES[bench_set()[0]], seed=5,
                            length=TRACE_LEN)
-    _, _, vector_sess = _sessions(12)
+    _, _, vector_sess, _ = _sessions(12)
 
     def run():
         if vector_sess.dirty:
@@ -263,7 +333,9 @@ def test_backend_speedups_and_trend(benchmark):
     trend = _load_trend(out)
     if PERF_GATE:
         _check_perf_gate(rows, trend)
-    trend.extend(_trend_entries(rows, trend_stamp()))
+    trend = append_trend(trend, _trend_entries(rows, trend_stamp()),
+                         config_keys=("backend", "engines",
+                                      "trace_len"))
     # Peak RSS rides along so the bounded-memory trajectory (see
     # bench_stream.py) is tracked across every BENCH_* artifact.
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -272,16 +344,26 @@ def test_backend_speedups_and_trend(benchmark):
                                "peak_rss_kb": peak_rss_kb},
                               indent=2) + "\n")
 
+    if os.environ.get("REPRO_PROFILE", "") == "1":
+        _print_profile(engines=12)
+
     assert row12["low_cycles_skipped"] > 0
-    # "No configuration slower than dense": every row, both backends.
+    # "No configuration slower than dense": every row, every backend.
     for row in rows:
-        for backend in ("scalar", "vector"):
+        for backend in BACKENDS:
             speedup = row[f"{backend}_speedup"]
             assert speedup >= MIN_SPEEDUP - JITTER, (
                 f"{backend} backend slower than dense at "
                 f"{row['engines']} engines: {row}")
     # The headline point keeps a genuine margin, not just parity: the
     # better backend at 12 µcores must beat dense even after jitter.
-    assert max(row12["scalar_speedup"],
-               row12["vector_speedup"]) >= MIN_SPEEDUP + JITTER, (
+    assert max(row12["scalar_speedup"], row12["vector_speedup"],
+               row12["compiled_speedup"]) >= MIN_SPEEDUP + JITTER, (
         f"no backend meaningfully faster at 12 µcores: {row12}")
+    # The compiled acceptance target (≥3x over vector at 12 µcores)
+    # only applies when a C build is live, and only under the perf
+    # gate — wall-clock multiples are not for noisy default runs.
+    if PERF_GATE and row12["hotpath_compiled"]:
+        assert row12["compiled_vs_vector"] >= COMPILED_TARGET, (
+            f"compiled hotpath under its {COMPILED_TARGET}x target "
+            f"over vector at 12 µcores: {row12}")

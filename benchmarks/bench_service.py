@@ -32,6 +32,7 @@ from pathlib import Path
 from conftest import (
     PERF_GATE,
     PERF_GATE_DROP,
+    append_trend,
     bench_set,
     load_trend,
     trend_stamp,
@@ -108,10 +109,13 @@ def test_cold_vs_warm_store():
                 f"warm store answer rate regressed: {warm_rate:.1f} "
                 f"specs/s vs best recorded {max(reference)}/s "
                 f"(floor {floor:.1f}/s)")
-    trend.append({**trend_stamp(),
-                  **{k: payload[k] for k in (
-                      "grid_specs", "trace_len", "cold_s", "warm_s",
-                      "speedup", "warm_rate")}})
+    trend = append_trend(
+        trend,
+        [{**trend_stamp(),
+          **{k: payload[k] for k in (
+              "grid_specs", "trace_len", "cold_s", "warm_s",
+              "speedup", "warm_rate")}}],
+        config_keys=("grid_specs", "trace_len"))
     out.write_text(json.dumps({**payload, "trend": trend},
                               indent=2) + "\n")
     print(f"\ncold {cold_s:.2f}s -> warm {warm_s:.3f}s "

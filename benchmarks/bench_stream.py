@@ -24,7 +24,13 @@ import subprocess
 import sys
 from pathlib import Path
 
-from conftest import PERF_GATE, PERF_GATE_DROP, load_trend, trend_stamp
+from conftest import (
+    PERF_GATE,
+    PERF_GATE_DROP,
+    append_trend,
+    load_trend,
+    trend_stamp,
+)
 
 _CHILD = Path(__file__).resolve().parent / "_stream_child.py"
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -84,9 +90,10 @@ def test_streamed_memory_bounded(tmp_path, benchmark):
     if PERF_GATE:
         _check_perf_gate(cells, trend)
     stamp = trend_stamp()
+    entries = []
     for repeats in (1, SCALE):
         row = cells[("stream", repeats)]
-        trend.append({
+        entries.append({
             **stamp,
             "mode": "stream",
             "repeats": repeats,
@@ -94,6 +101,8 @@ def test_streamed_memory_bounded(tmp_path, benchmark):
             "traced_peak_bytes": row["traced_peak_bytes"],
             "maxrss_kb": row["maxrss_kb"],
         })
+    trend = append_trend(trend, entries,
+                         config_keys=("mode", "repeats", "records"))
     out.write_text(json.dumps(
         {"rows": list(cells.values()), "trend": trend},
         indent=2) + "\n")

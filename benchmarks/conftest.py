@@ -62,3 +62,27 @@ def load_trend(path: Path) -> list[dict]:
     except (OSError, ValueError):
         return []
     return list(data.get("trend", []))
+
+
+def append_trend(trend: list[dict], entries: list[dict],
+                 config_keys: tuple[str, ...]) -> list[dict]:
+    """``trend`` plus ``entries``, dropping older rows that share a new
+    entry's git SHA *and* configuration (``config_keys``, e.g.
+    ``("backend", "engines", "trace_len")``).
+
+    Re-running a benchmark at one commit used to append a duplicate
+    row per run, inflating the trend and — worse — letting one lucky
+    rerun ratchet the PERF_GATE floor against later honest runs at the
+    same SHA.  Keeping only the freshest measurement per
+    (sha, configuration) makes the trend one row per commit per
+    configuration, which is what a trajectory should be.  Entries from
+    other SHAs (and the "pre-trend"/"unknown" provenance rows) are
+    never touched.
+    """
+    def identity(entry: dict) -> tuple:
+        return (entry.get("git_sha"),
+                *(entry.get(key) for key in config_keys))
+
+    fresh = {identity(entry) for entry in entries}
+    kept = [entry for entry in trend if identity(entry) not in fresh]
+    return kept + list(entries)

@@ -46,11 +46,17 @@ master/worker fleet (:mod:`repro.fabric`) — every harness fans out
 over the network unchanged, with the same records and the same warm
 store (``python -m repro.fabric master`` / ``worker HOST:PORT``).
 
+``REPRO_BACKEND=compiled`` runs the per-cycle inner loops (µcore ISS
+tick, OoO core step) as a C extension built from
+:mod:`repro.hotpath`'s kernels (``python -m repro.hotpath.build``,
+mypyc or Cython); with no toolchain or artifact the same sources run
+interpreted, bit-identically, so the flag is always safe.
+
 See DESIGN.md for the architecture map and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.core.config import FireGuardConfig
 from repro.core.system import FireGuardSystem, SystemResult, run_baseline

@@ -14,6 +14,17 @@ FireGuard's evaluation measures:
 
 A ``CommitObserver`` (FireGuard's frontend) may veto commit in a given
 lane — that is exactly the paper's back-pressure mechanism.
+
+The per-cycle commit/dispatch/schedule walk lives in
+:mod:`repro.hotpath.ooo_kernel` (DESIGN.md: hotpath layer): this class
+owns the flattened run state — ROB rings, LSQ occupancy counters and
+the register-ready scoreboard as preallocated arrays — and delegates
+:meth:`step` to the active kernel variant (interpreted by default, the
+C-compiled build under ``REPRO_BACKEND=compiled``).  The
+:class:`~repro.ooo.rob.ReorderBuffer` and
+:class:`~repro.ooo.lsq.LoadStoreQueues` classes remain in
+:mod:`repro.ooo` as the unit-tested reference structures the rings
+flatten.
 """
 
 from __future__ import annotations
@@ -24,14 +35,17 @@ from typing import Protocol
 
 from repro.branch.predictor import FrontEndPredictor
 from repro.errors import SimulationError
+from repro.hotpath import ooo_kernel as _ok
 from repro.isa.opcodes import InstrClass
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.ooo.issue import FunctionalUnitPool, FuParams
-from repro.ooo.lsq import LoadStoreQueues
 from repro.ooo.params import CoreParams
 from repro.ooo.prf import PhysicalRegisterFile
-from repro.ooo.rob import ReorderBuffer
 from repro.trace.record import InstrRecord, Trace
+
+#: Architectural register space preallocated in the ready scoreboard
+#: (grown on demand by the kernel for out-of-range trace registers).
+_REG_SPACE = 64
 
 
 class CommitObserver(Protocol):
@@ -72,7 +86,7 @@ class CoreResult:
 class MainCore:
     """Cycle-stepped trace-driven OoO core."""
 
-    _LINE_SHIFT = 6
+    _LINE_SHIFT = _ok.LINE_SHIFT
 
     def __init__(self, params: CoreParams | None = None,
                  hierarchy: MemoryHierarchy | None = None,
@@ -80,23 +94,38 @@ class MainCore:
         self.params = params or CoreParams()
         self.hierarchy = hierarchy or MemoryHierarchy(self.params.hierarchy)
         self.predictor = predictor or FrontEndPredictor(self.params.predictor)
-        self.rob = ReorderBuffer(self.params.rob_entries)
-        self.lsq = LoadStoreQueues(self.params.ldq_entries,
-                                   self.params.stq_entries)
         self.prf = PhysicalRegisterFile(self.params.prf_read_ports,
                                         self.params.phys_regs)
         self.fu_pool = self._build_fu_pool()
         self._observer: CommitObserver | None = None
 
         self._trace: list[InstrRecord] = []
-        self._next_dispatch = 0
-        self._reg_ready: dict[int, int] = {}
-        self._fetch_stall_until = 0
-        self._last_fetch_line = -1
-        self._in_flight = 0
-        self._stall_reason_redirect = False
+        p = self.params
+        st = [0] * _ok.ST_LEN
+        st[_ok.LAST_FETCH_LINE] = -1
+        st[_ok.ROB_CAP] = p.rob_entries
+        st[_ok.LDQ_CAP] = p.ldq_entries
+        st[_ok.STQ_CAP] = p.stq_entries
+        st[_ok.WIDTH] = p.width
+        st[_ok.REDIRECT_PENALTY] = p.redirect_penalty
+        st[_ok.LAT_STORE] = p.lat_store
+        st[_ok.L2_HIT] = self.hierarchy.params.l2.hit_latency
+        st[_ok.L1I_HIT] = self.hierarchy.params.l1i.hit_latency
+        self._st = st
+        self._rob_rec: list = [None] * p.rob_entries
+        self._rob_done: list[int] = [0] * p.rob_entries
+        self._reg_ready: list[int] = [0] * _REG_SPACE
         self.result = CoreResult(cycles=0, committed=0)
-        self._record_commit_times = False
+        self._kernel = _ok
+        self._step = _ok.core_step
+
+    def set_kernel(self, kernel) -> None:
+        """Select the hotpath kernel module driving :meth:`step` —
+        the interpreted :mod:`repro.hotpath.ooo_kernel` (default) or
+        its compiled build (``repro.hotpath.install_hotpath``).  Both
+        read the same flat state, so switching is always safe."""
+        self._kernel = kernel
+        self._step = kernel.core_step
 
     def reset(self) -> None:
         """Return the core to its just-constructed state: cold caches
@@ -108,20 +137,30 @@ class MainCore:
         one."""
         self.hierarchy.reset()
         self.predictor.reset()
-        self.rob.reset()
-        self.lsq.reset()
         self.prf.reset()
         self.fu_pool.reset()
         self._observer = None
         self._trace = []
-        self._next_dispatch = 0
-        self._reg_ready = {}
-        self._fetch_stall_until = 0
-        self._last_fetch_line = -1
-        self._in_flight = 0
-        self._stall_reason_redirect = False
+        self._clear_run_state()
+
+    def _clear_run_state(self) -> None:
+        st = self._st
+        st[_ok.NEXT_DISPATCH] = 0
+        st[_ok.FETCH_STALL_UNTIL] = 0
+        st[_ok.LAST_FETCH_LINE] = -1
+        st[_ok.IN_FLIGHT] = 0
+        st[_ok.STALL_REDIRECT] = 0
+        st[_ok.ROB_HEAD] = 0
+        st[_ok.ROB_COUNT] = 0
+        st[_ok.LDQ_COUNT] = 0
+        st[_ok.STQ_COUNT] = 0
+        st[_ok.RECORD_TIMES] = 0
+        st[_ok.TRACE_LEN] = 0
+        rob_rec = self._rob_rec
+        for index in range(len(rob_rec)):
+            rob_rec[index] = None
+        self._reg_ready = [0] * _REG_SPACE
         self.result = CoreResult(cycles=0, committed=0)
-        self._record_commit_times = False
 
     def _build_fu_pool(self) -> FunctionalUnitPool:
         p = self.params
@@ -181,14 +220,10 @@ class MainCore:
             warmup_records = min(self.DEFAULT_WARMUP, len(trace) // 2)
         self._warm_up(trace, warmup_records)
         self._trace = trace.record_view()
-        self._next_dispatch = 0
-        self._reg_ready = {}
-        self._fetch_stall_until = 0
-        self._last_fetch_line = -1
-        self._in_flight = 0
-        self._stall_reason_redirect = False
-        self.result = CoreResult(cycles=0, committed=0)
-        self._record_commit_times = record_commit_times
+        self._clear_run_state()
+        st = self._st
+        st[_ok.TRACE_LEN] = len(self._trace)
+        st[_ok.RECORD_TIMES] = 1 if record_commit_times else 0
 
     def _warm_up(self, trace: "Trace", count: int) -> None:
         last_line = -1
@@ -213,7 +248,9 @@ class MainCore:
 
     @property
     def done(self) -> bool:
-        return self._next_dispatch >= len(self._trace) and self.rob.empty
+        st = self._st
+        return (st[_ok.NEXT_DISPATCH] >= st[_ok.TRACE_LEN]
+                and st[_ok.ROB_COUNT] == 0)
 
     def quiescent_at(self, cycle: int) -> bool:
         """True when ``step(cycle)`` would be a provable no-op beyond
@@ -222,13 +259,12 @@ class MainCore:
         statistics.  The event-driven session fast-forwards only past
         quiescent cycles, so even per-cycle stall counters stay
         bit-identical to the dense loop."""
-        return self.done and cycle >= self._fetch_stall_until
+        return self.done and cycle >= self._st[_ok.FETCH_STALL_UNTIL]
 
     def step(self, cycle: int) -> None:
         """Advance one core cycle: commit, then dispatch."""
-        self._commit(cycle)
-        self._dispatch(cycle)
-        self.result.cycles = cycle + 1
+        self._step(self, self._st, self._rob_rec, self._rob_done,
+                   self._reg_ready, self._trace, cycle)
 
     # -- stall fast-forward ----------------------------------------------
     def stall_window(self, cycle: int) -> tuple[int, str] | None:
@@ -238,7 +274,7 @@ class MainCore:
         ``[cycle, until)`` would execute as pure stall accounting —
         nothing commits (the ROB head completes at or after ``until``)
         and nothing dispatches (front-end stall, exhausted trace, full
-        ROB, or a blocked LSQ, in :meth:`_dispatch`'s priority order) —
+        ROB, or a blocked LSQ, in the kernel dispatch priority order) —
         or ``None`` when the next cycle does real work.  The session
         batches such windows with :meth:`skip_stalls` instead of
         stepping them; the stall cause cannot change mid-window because
@@ -246,24 +282,26 @@ class MainCore:
         Windows of fewer than two cycles are not worth the bookkeeping
         and report ``None``.
         """
-        head = self.rob.head()
-        head_done = head.completion if head is not None else None
+        st = self._st
+        rob_count = st[_ok.ROB_COUNT]
+        head_done = (self._rob_done[st[_ok.ROB_HEAD]]
+                     if rob_count else None)
         if head_done is not None and head_done <= cycle:
             return None  # the head commits this cycle
-        until = self._fetch_stall_until
+        until = st[_ok.FETCH_STALL_UNTIL]
         if cycle < until:
             if head_done is not None and head_done < until:
                 until = head_done
-            kind = ("fetch-redirect" if self._stall_reason_redirect
+            kind = ("fetch-redirect" if st[_ok.STALL_REDIRECT]
                     else "fetch-icache")
-        elif self._next_dispatch >= len(self._trace):
+        elif st[_ok.NEXT_DISPATCH] >= st[_ok.TRACE_LEN]:
             if head_done is None:
                 return None  # fully drained: the quiescent path owns it
             until, kind = head_done, "drain"
-        elif self.rob.full:
+        elif rob_count == st[_ok.ROB_CAP]:
             until, kind = head_done, "rob"
-        elif not self.lsq.can_dispatch(
-                self._trace[self._next_dispatch].iclass):
+        elif not self._lsq_can_dispatch(
+                self._trace[st[_ok.NEXT_DISPATCH]].iclass):
             if head_done is None:
                 return None
             until, kind = head_done, "lsq"
@@ -272,6 +310,14 @@ class MainCore:
         if until <= cycle + 1:
             return None
         return until, kind
+
+    def _lsq_can_dispatch(self, iclass: InstrClass) -> bool:
+        st = self._st
+        if iclass is InstrClass.LOAD:
+            return st[_ok.LDQ_COUNT] < st[_ok.LDQ_CAP]
+        if iclass is InstrClass.STORE:
+            return st[_ok.STQ_COUNT] < st[_ok.STQ_CAP]
+        return True
 
     def skip_stalls(self, cycle: int, target: int, kind: str) -> None:
         """Account ``target - cycle`` stall cycles in one batch —
@@ -305,115 +351,3 @@ class MainCore:
             self.step(cycle)
             cycle += 1
         return self.result
-
-    # -- commit ----------------------------------------------------------
-    def _commit(self, cycle: int) -> None:
-        observer = self._observer
-        width = self.params.width
-        if observer is not None:
-            # A filter narrower than the core bounds commits per cycle
-            # (Fig 9's 1- and 2-wide configurations).
-            width = min(width, observer.lanes)
-        committed = 0
-        while committed < width:
-            head = self.rob.head()
-            if head is None or head.completion > cycle:
-                break
-            if observer is not None and not observer.offer(
-                    head.record, committed, cycle):
-                self.result.stall_backpressure += 1
-                break
-            entry = self.rob.commit_head()
-            self.lsq.commit(entry.record.iclass)
-            self._in_flight -= 1
-            self.result.committed += 1
-            if self._record_commit_times and entry.record.attack_id is not None:
-                self.result.commit_times[entry.record.attack_id] = cycle
-            committed += 1
-
-    # -- dispatch ----------------------------------------------------------
-    def _dispatch(self, cycle: int) -> None:
-        if cycle < self._fetch_stall_until:
-            self.result.stall_fetch += 1
-            if self._stall_reason_redirect:
-                self.result.stall_fetch_redirect += 1
-            else:
-                self.result.stall_fetch_icache += 1
-            return
-        trace = self._trace
-        for _ in range(self.params.width):
-            if self._next_dispatch >= len(trace):
-                return
-            if self.rob.full:
-                self.result.stall_rob_full += 1
-                return
-            record = trace[self._next_dispatch]
-            if not self.lsq.can_dispatch(record.iclass):
-                self.result.stall_lsq_full += 1
-                return
-
-            self._fetch_line(record.pc, cycle)
-            completion = self._schedule(record, cycle)
-            self.rob.dispatch(record, completion)
-            self.lsq.dispatch(record.iclass)
-            self._in_flight += 1
-            self._next_dispatch += 1
-
-            if record.is_ctrl:
-                mispredicted = self.predictor.predict_and_train(
-                    record.iclass, record.pc, record.taken, record.target)
-                if mispredicted:
-                    self.result.mispredicts += 1
-                    self._fetch_stall_until = (
-                        completion + self.params.redirect_penalty)
-                    self._stall_reason_redirect = True
-                    return  # redirect ends this dispatch group
-
-    def _fetch_line(self, pc: int, cycle: int) -> None:
-        line = pc >> self._LINE_SHIFT
-        if line == self._last_fetch_line:
-            return
-        sequential = line == self._last_fetch_line + 1
-        self._last_fetch_line = line
-        access = self.hierarchy.access_instr(pc, cycle)
-        hit_latency = self.hierarchy.params.l1i.hit_latency
-        if access.latency > hit_latency and not sequential:
-            # Discontinuous fetch to a missing line stalls the front
-            # end; sequential misses are hidden by next-line prefetch.
-            new_stall = cycle + access.latency - hit_latency
-            if new_stall > self._fetch_stall_until:
-                self._fetch_stall_until = new_stall
-                self._stall_reason_redirect = False
-
-    def _schedule(self, record: InstrRecord, cycle: int) -> int:
-        """Compute the completion cycle of a dispatched instruction."""
-        ready = cycle + 1
-        reg_ready = self._reg_ready
-        for src in record.srcs:
-            if src:  # x0 is always ready
-                src_ready = reg_ready.get(src)
-                if src_ready is not None and src_ready > ready:
-                    ready = src_ready
-
-        # PRF read ports (shared with the forwarding channel).
-        ready = self.prf.acquire_read_ports(ready, len(record.srcs))
-        issue = self.fu_pool.acquire(record.iclass, ready)
-
-        iclass = record.iclass
-        if iclass is InstrClass.LOAD:
-            access = self.hierarchy.access_data(record.mem_addr, issue)
-            latency = access.latency
-        elif iclass is InstrClass.STORE:
-            # Store data is written back at commit; address translation
-            # happens at issue.  Charge translation only.
-            latency = self.params.lat_store
-            latency += self.hierarchy.dtlb.translate(record.mem_addr)
-            self.hierarchy.l1d.lookup(
-                record.mem_addr, issue, self.hierarchy.params.l2.hit_latency)
-        else:
-            latency = self.fu_pool.latency(iclass)
-
-        completion = issue + latency
-        if record.dst:
-            reg_ready[record.dst] = completion
-        return completion

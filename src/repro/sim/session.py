@@ -36,9 +36,17 @@ execution backend: ``vector`` (default where numpy is available)
 precomputes the event-filter decisions and the accelerator pre-checks
 per trace chunk (:mod:`repro.core.vector`), and the event loop batches
 provable core-stall windows through the clock's stride fast-forward;
-``scalar`` is the record-at-a-time reference.  Both produce
-bit-identical :class:`SystemResult`\\ s (the three-way differential
+``scalar`` is the record-at-a-time reference; ``compiled`` is vector
+plus the C-compiled hotpath kernels (:mod:`repro.hotpath`) for the
+µcore ISS tick and the OoO core step, degrading to the bit-identical
+interpreted kernels when no build artifact exists.  All produce
+bit-identical :class:`SystemResult`\\ s (the four-way differential
 grid in ``tests/test_vector_identity.py``).
+
+``REPRO_PROFILE=1`` additionally wraps the per-component step methods
+with wall-clock accounting; the accumulated per-component seconds
+appear in :meth:`SimulationSession.stats` under ``profile_*`` keys
+(``benchmarks/bench_sched.py`` prints the breakdown).
 """
 
 from __future__ import annotations
@@ -50,8 +58,16 @@ from repro.clock.domain import DualDomainClock
 from repro.errors import SimulationError
 from repro.sched import EventScheduler
 from repro.trace.record import Trace
-from repro.utils.npcompat import BACKEND_VECTOR, resolve_backend
+from repro.utils.npcompat import (
+    BACKEND_COMPILED,
+    BACKEND_VECTOR,
+    HAVE_NUMPY,
+    resolve_backend,
+)
 from repro.utils.stats import Instrumented
+
+#: Environment variable enabling the per-component wall-time profile.
+PROFILE_ENV = "REPRO_PROFILE"
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import FireGuardSystem, SystemResult
@@ -76,8 +92,9 @@ class SimulationSession(Instrumented):
     everywhere else — so no configuration is slower than the dense
     reference.  The loops are bit-identical, so the choice is
     invisible in results.
-    ``backend`` selects the execution backend (``"vector"`` or
-    ``"scalar"``); None reads ``REPRO_BACKEND``, defaulting to vector
+    ``backend`` selects the execution backend (``"vector"``,
+    ``"scalar"`` or ``"compiled"``); None reads ``REPRO_BACKEND``,
+    defaulting to vector
     when numpy is importable and falling back to scalar (with a
     one-time warning if vector was explicitly requested) otherwise.
     A system should be driven by one session (the canonical path is
@@ -110,6 +127,16 @@ class SimulationSession(Instrumented):
             self._adaptive = False
         self.dense = dense
         self.backend = resolve_backend(backend)
+        #: True once a run executed with the C-compiled hotpath
+        #: kernels live (``backend == "compiled"`` and an artifact was
+        #: importable); stays False on the interpreted fallback.
+        self.hotpath_compiled = False
+        #: Per-component wall-clock seconds, populated only under
+        #: ``REPRO_PROFILE=1`` (see :meth:`stats`).
+        self.profile: dict[str, float] = {}
+        self._profiling = os.environ.get(PROFILE_ENV, "") == "1"
+        if self._profiling:
+            self._install_profiling()
         self.stat_mapper_blocked = 0
         self.stat_engine_ticks_skipped = 0
         self.stat_low_cycles_skipped = 0
@@ -195,6 +222,44 @@ class SimulationSession(Instrumented):
         ctrl.drain_hook = waker
         ctrl.busy_hook = busy_hook
 
+    # -- profiling ---------------------------------------------------------
+    def _install_profiling(self) -> None:
+        """Wrap the per-component step methods with wall-clock
+        accounting (``REPRO_PROFILE=1`` only — the wrappers cost a
+        perf_counter pair per call, so they are opt-in).
+
+        Buckets: ``core`` (OoO step + batched stall skips), ``mapper``
+        (event-filter arbitration), ``fabric`` (multicast + NoC
+        steps), ``engines`` (all analysis-engine ticks).  Wrappers
+        live on the component instances, so they survive ``reset()``;
+        the accumulated seconds clear with the other session counters
+        in :meth:`reset_stats`.
+        """
+        from time import perf_counter
+        profile = self.profile
+
+        def wrap(obj, attr: str, bucket: str) -> None:
+            inner = getattr(obj, attr)
+
+            def timed(*args, **kwargs):
+                start = perf_counter()
+                try:
+                    return inner(*args, **kwargs)
+                finally:
+                    profile[bucket] = (profile.get(bucket, 0.0)
+                                       + perf_counter() - start)
+
+            setattr(obj, attr, timed)
+
+        system = self.system
+        wrap(system.core, "step", "core")
+        wrap(system.core, "skip_stalls", "core")
+        wrap(system.filter, "arbitrate", "mapper")
+        wrap(system.multicast, "step", "fabric")
+        wrap(system.noc, "step", "fabric")
+        for engine in system.engines:
+            wrap(engine, "tick", "engines")
+
     # -- reset -------------------------------------------------------------
     def reset(self) -> None:
         """Return the system to its just-built state.
@@ -234,18 +299,22 @@ class SimulationSession(Instrumented):
     # -- stats -------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         """Session counters plus the per-domain scheduler counters
-        (``sched_low_*`` / ``sched_high_*``)."""
+        (``sched_low_*`` / ``sched_high_*``); under ``REPRO_PROFILE=1``
+        also the per-component wall-clock seconds (``profile_*``)."""
         merged = super().stats()
         for prefix, sched in (("sched_low_", self._low_sched),
                               ("sched_high_", self._high_sched)):
             merged.update({prefix + key: value
                            for key, value in sched.stats().items()})
+        for bucket, seconds in self.profile.items():
+            merged["profile_" + bucket] = seconds
         return merged
 
     def reset_stats(self) -> None:
         super().reset_stats()
         self._low_sched.reset_stats()
         self._high_sched.reset_stats()
+        self.profile.clear()
 
     # -- simulation --------------------------------------------------------
     def run(self, trace: Trace,
@@ -273,9 +342,13 @@ class SimulationSession(Instrumented):
                                       stall_backpressure=0)
         system.core.begin(trace, record_commit_times=True)
         system.core.attach_observer(system.filter)
-        if self.backend == BACKEND_VECTOR:
+        if self.backend == BACKEND_VECTOR \
+                or (self.backend == BACKEND_COMPILED and HAVE_NUMPY):
             from repro.core.vector import install_plans
             install_plans(system, trace)
+        if self.backend == BACKEND_COMPILED:
+            from repro.hotpath import install_hotpath
+            self.hotpath_compiled = install_hotpath(system)
         clock = DualDomainClock(system.config.high_domain(),
                                 system.config.low_domain())
 

@@ -17,6 +17,13 @@ Blocking semantics: ``qpop``/``qtop``/``ppop`` on an empty queue and
 ``qpush`` into a full output queue stall the pipeline until the
 operation can complete — the hardware handshake the message-queue
 controller implements.
+
+The per-cycle interpreter itself lives in
+:mod:`repro.hotpath.ucore_kernel` (DESIGN.md: hotpath layer): this
+class owns the engine's flat state arrays, decodes the program once
+through the digest-keyed cache in :mod:`repro.hotpath.decode`, and
+delegates :meth:`tick` to the active kernel variant — interpreted by
+default, the C-compiled build under ``REPRO_BACKEND=compiled``.
 """
 
 from __future__ import annotations
@@ -27,29 +34,18 @@ from repro.core.config import FireGuardConfig
 from repro.core.isax import IsaxInterface, IsaxStyle
 from repro.core.msgqueue import QueueController
 from repro.errors import SimulationError
+from repro.hotpath import ucore_kernel as _uk
+from repro.hotpath.decode import decode_ucore_program
 from repro.mem.cache import CacheParams, SetAssocCache
 from repro.mem.sparse import SparseMemory
 from repro.mem.tlb import Tlb, TlbParams
 from repro.utils.stats import Instrumented
-from repro.ucore.isa import (
-    BRANCH_OPS,
-    LATE_RESULT_OPS,
-    LOAD_OPS,
-    MEM_SIZES,
-    QUEUE_OPS,
-    STORE_OPS,
-    Op,
-    UInstr,
-)
+from repro.ucore.isa import UInstr
 
 _MASK64 = (1 << 64) - 1
 
 AlertCallback = Callable[[int, int, int], None]
 """(engine_id, alert_code, low_cycle)."""
-
-
-def _signed(value: int) -> int:
-    return (value ^ (1 << 63)) - (1 << 63)
 
 
 class UcoreMemory:
@@ -94,19 +90,17 @@ class UcoreMemory:
 
 
 class MicroCore(Instrumented):
-    """One analysis engine executing a guardian-kernel program."""
+    """One analysis engine executing a guardian-kernel program.
+
+    Architectural and timing state is flattened into ``self._st`` (a
+    ``list[int]`` indexed by the slot constants in
+    :mod:`repro.hotpath.ucore_kernel`) and ``self.regs``; the familiar
+    attributes (``pc``, ``halted``, ``blocked``, ``stat_*``) are
+    read/write views over those slots, so tests and tools keep their
+    surface while the per-cycle path runs on flat ints.
+    """
 
     SPIN_IDLE_WINDOW = 64
-
-    # What a blocked engine is waiting for (drives the session's
-    # idle-skip: a blocked engine need not tick until its wait can
-    # possibly resolve).
-    _WAIT_INPUT = "input"
-    _WAIT_PEER = "peer"
-    _WAIT_OUTPUT = "output"
-
-    # Instruction dispatch kinds (per-pc table, see __init__).
-    _K_OTHER, _K_QUEUE, _K_LOAD, _K_STORE, _K_BRANCH = range(5)
 
     def __init__(self, engine_id: int, program: list[UInstr],
                  controller: QueueController, memory: UcoreMemory,
@@ -127,9 +121,6 @@ class MicroCore(Instrumented):
 
         self.regs = [0] * 32
         self.regs[2] = 0x0000_7000_0000_0000 + engine_id * 0x1_0000  # sp
-        self.pc = 0
-        self.halted = False
-        self.blocked = False
 
         self.l1d = SetAssocCache(CacheParams(
             name=f"{name}{engine_id}.L1D",
@@ -140,32 +131,105 @@ class MicroCore(Instrumented):
             entries=config.ucore_tlb_entries,
             walk_latency=config.ucore_tlb_walk))
 
-        self._stall_until = 0
-        self._prev_was_queue_op = False
-        self._instrs_since_effect = 0
-        self._blocked_on: str | None = None
         self._presets: dict[int, int] = {}
-        self.stat_instructions = 0
-        self.stat_stall_cycles = 0
-        self.stat_pops = 0
-        self.stat_alerts = 0
 
-        # Per-pc tables, precomputed once (the program is immutable
-        # for the engine's lifetime): the next instruction's read set
-        # for hazard checks and the dispatch kind, so the per-tick hot
-        # path indexes lists instead of hashing Op members into the
-        # classification frozensets.
-        self._next_reads: list[tuple[int, ...]] = [
-            program[index + 1].reads() if index + 1 < len(program)
-            else ()
-            for index in range(len(program))]
-        self._kind: list[int] = [
-            self._K_QUEUE if instr.op in QUEUE_OPS
-            else self._K_LOAD if instr.op in LOAD_OPS
-            else self._K_STORE if instr.op in STORE_OPS
-            else self._K_BRANCH if instr.op in BRANCH_OPS
-            else self._K_OTHER
-            for instr in program]
+        # Flat per-engine state + the decoded program (digest-cached:
+        # every engine built from the same assembled kernel shares one
+        # decode).
+        self._decoded = decode_ucore_program(program)
+        self._prog = self._decoded.prog
+        st = [0] * _uk.ST_LEN
+        st[_uk.ENGINE_ID] = engine_id
+        st[_uk.NUM_ENGINES] = max(1, config.num_engines)
+        st[_uk.PROG_LEN] = len(program)
+        st[_uk.L2_LAT] = config.ucore_l2_latency
+        self._st = st
+        self._kernel = _uk
+        self._tick = _uk.ucore_tick
+
+    # -- kernel selection --------------------------------------------------
+    def set_kernel(self, kernel) -> None:
+        """Select the hotpath kernel module driving :meth:`tick` —
+        the interpreted :mod:`repro.hotpath.ucore_kernel` (default) or
+        its compiled build (``repro.hotpath.install_hotpath``).  Both
+        read the same flat state, so switching is always safe."""
+        self._kernel = kernel
+        self._tick = kernel.ucore_tick
+
+    # -- state views (flat slots behind the classic attribute surface) ----
+    @property
+    def pc(self) -> int:
+        return self._st[_uk.PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self._st[_uk.PC] = value
+
+    @property
+    def halted(self) -> bool:
+        return self._st[_uk.HALTED] != 0
+
+    @halted.setter
+    def halted(self, value: bool) -> None:
+        self._st[_uk.HALTED] = 1 if value else 0
+
+    @property
+    def blocked(self) -> bool:
+        return self._st[_uk.BLOCKED] != 0
+
+    @blocked.setter
+    def blocked(self, value: bool) -> None:
+        self._st[_uk.BLOCKED] = 1 if value else 0
+
+    @property
+    def stat_instructions(self) -> int:
+        return self._st[_uk.STAT_INSTR]
+
+    @stat_instructions.setter
+    def stat_instructions(self, value: int) -> None:
+        self._st[_uk.STAT_INSTR] = value
+
+    @property
+    def stat_stall_cycles(self) -> int:
+        return self._st[_uk.STAT_STALL]
+
+    @stat_stall_cycles.setter
+    def stat_stall_cycles(self, value: int) -> None:
+        self._st[_uk.STAT_STALL] = value
+
+    @property
+    def stat_pops(self) -> int:
+        return self._st[_uk.STAT_POPS]
+
+    @stat_pops.setter
+    def stat_pops(self, value: int) -> None:
+        self._st[_uk.STAT_POPS] = value
+
+    @property
+    def stat_alerts(self) -> int:
+        return self._st[_uk.STAT_ALERTS]
+
+    @stat_alerts.setter
+    def stat_alerts(self, value: int) -> None:
+        self._st[_uk.STAT_ALERTS] = value
+
+    def stats(self) -> dict[str, int]:
+        """Counters live in flat slots, not ``stat_*`` attributes, so
+        the :class:`Instrumented` ``vars()`` scan cannot see them."""
+        st = self._st
+        return {
+            "instructions": st[_uk.STAT_INSTR],
+            "stall_cycles": st[_uk.STAT_STALL],
+            "pops": st[_uk.STAT_POPS],
+            "alerts": st[_uk.STAT_ALERTS],
+        }
+
+    def reset_stats(self) -> None:
+        st = self._st
+        st[_uk.STAT_INSTR] = 0
+        st[_uk.STAT_STALL] = 0
+        st[_uk.STAT_POPS] = 0
+        st[_uk.STAT_ALERTS] = 0
 
     # -- setup -------------------------------------------------------------
     def preset_registers(self, values: dict[int, int]) -> None:
@@ -185,15 +249,16 @@ class MicroCore(Instrumented):
         self.regs[2] = 0x0000_7000_0000_0000 + self.engine_id * 0x1_0000
         for reg, value in self._presets.items():
             self.regs[reg] = value
-        self.pc = 0
-        self.halted = False
-        self.blocked = False
         self.l1d.reset()
         self.tlb.reset()
-        self._stall_until = 0
-        self._prev_was_queue_op = False
-        self._instrs_since_effect = 0
-        self._blocked_on = None
+        st = self._st
+        st[_uk.PC] = 0
+        st[_uk.HALTED] = 0
+        st[_uk.BLOCKED] = 0
+        st[_uk.STALL_UNTIL] = 0
+        st[_uk.PREV_QOP] = 0
+        st[_uk.SINCE_EFFECT] = 0
+        st[_uk.BLOCKED_ON] = _uk.WAIT_NONE
         self.reset_stats()
 
     # -- idle / drain detection --------------------------------------------
@@ -201,19 +266,20 @@ class MicroCore(Instrumented):
         """True when the µcore has no work it could make progress on —
         either blocked on an empty queue, halted, or spinning a poll
         loop with nothing to poll."""
-        if self.halted:
+        st = self._st
+        if st[_uk.HALTED]:
             return True
         ctrl = self.controller
         if not ctrl.input_queue.empty or not ctrl.peer_queue.empty:
             return False
-        if self.blocked:
+        if st[_uk.BLOCKED]:
             return True
         # Spinning: many executed instructions with no architectural
         # effect (pop/push/store/alert) — a poll loop with nothing to
         # poll.  Counting instructions rather than cycles keeps long
         # D$-miss stalls from looking like idleness (a kernel doing
         # real work issues an effect at least every few instructions).
-        return self._instrs_since_effect > self.SPIN_IDLE_WINDOW
+        return st[_uk.SINCE_EFFECT] > self.SPIN_IDLE_WINDOW
 
     def can_skip(self) -> bool:
         """True when ``tick`` is provably a no-op this cycle, so the
@@ -224,17 +290,18 @@ class MicroCore(Instrumented):
         blocked on a queue whose state cannot let the retried
         instruction complete, qualifies.  Blocked engines skip stall
         accounting while parked; architectural state is unaffected."""
-        if self.halted:
+        st = self._st
+        if st[_uk.HALTED]:
             return True
-        if not self.blocked:
+        if not st[_uk.BLOCKED]:
             return False
         ctrl = self.controller
-        waiting = self._blocked_on
-        if waiting == self._WAIT_INPUT:
+        waiting = st[_uk.BLOCKED_ON]
+        if waiting == _uk.WAIT_INPUT:
             return ctrl.input_queue.empty
-        if waiting == self._WAIT_PEER:
+        if waiting == _uk.WAIT_PEER:
             return ctrl.peer_queue.empty
-        if waiting == self._WAIT_OUTPUT:
+        if waiting == _uk.WAIT_OUTPUT:
             return not ctrl.can_push()
         return False
 
@@ -251,254 +318,18 @@ class MicroCore(Instrumented):
         architectural state — the same contract ``can_skip`` gives the
         dense loop for blocked engines.
         """
-        if self.halted or self.blocked:
+        st = self._st
+        if st[_uk.HALTED] or st[_uk.BLOCKED]:
             return None
-        if self._stall_until > now + 1:
-            return self._stall_until
+        stall_until = st[_uk.STALL_UNTIL]
+        if stall_until > now + 1:
+            return stall_until
         return now + 1
 
     # -- execution ---------------------------------------------------------
     def tick(self, low_cycle: int) -> None:
         """Advance at most one instruction at this low-domain cycle."""
-        if self.halted:
-            return
-        if low_cycle < self._stall_until:
-            self.stat_stall_cycles += 1
-            return
-        pc = self.pc
-        if pc >= len(self.program) or pc < 0:
-            self.halted = True
-            return
-        instr = self.program[pc]
-        cost = self._execute(instr, low_cycle)
-        if cost == 0:
-            # Blocked: retry the same instruction next cycle.
-            self.blocked = True
-            self.stat_stall_cycles += 1
-            self._stall_until = low_cycle + 1
-            return
-        self.blocked = False
-        self._blocked_on = None
-        self.stat_instructions += 1
-        self._instrs_since_effect += 1
-        self._stall_until = low_cycle + cost
-        self._prev_was_queue_op = self._kind[pc] == self._K_QUEUE
-
-    def _hazard_next_uses(self, rd: int) -> bool:
-        """Does the next sequential instruction read ``rd``?"""
-        return rd != 0 and rd in self._next_reads[self.pc]
-
-    def _execute(self, instr: UInstr, low_cycle: int) -> int:
-        """Execute one instruction; return its cycle cost, or 0 when
-        the instruction is blocked and must retry."""
-        kind = self._kind[self.pc]
-        if kind == self._K_QUEUE:
-            return self._execute_queue_op(instr, low_cycle)
-
-        op = instr.op
-        regs = self.regs
-        r1 = regs[instr.rs1]
-        r2 = regs[instr.rs2]
-
-        cost = 1
-        advance = True
-
-        if op == Op.ADD:
-            result = (r1 + r2) & _MASK64
-        elif op == Op.SUB:
-            result = (r1 - r2) & _MASK64
-        elif op == Op.AND:
-            result = r1 & r2
-        elif op == Op.OR:
-            result = r1 | r2
-        elif op == Op.XOR:
-            result = r1 ^ r2
-        elif op == Op.SLL:
-            result = (r1 << (r2 & 63)) & _MASK64
-        elif op == Op.SRL:
-            result = r1 >> (r2 & 63)
-        elif op == Op.SRA:
-            result = (_signed(r1) >> (r2 & 63)) & _MASK64
-        elif op == Op.SLT:
-            result = 1 if _signed(r1) < _signed(r2) else 0
-        elif op == Op.SLTU:
-            result = 1 if r1 < r2 else 0
-        elif op == Op.MUL:
-            result = (r1 * r2) & _MASK64
-            cost = 2
-        elif op == Op.DIV:
-            result = (r1 // r2) & _MASK64 if r2 else _MASK64
-            cost = 8
-        elif op == Op.ADDI:
-            result = (r1 + instr.imm) & _MASK64
-        elif op == Op.ANDI:
-            result = r1 & (instr.imm & _MASK64)
-        elif op == Op.ORI:
-            result = r1 | (instr.imm & _MASK64)
-        elif op == Op.XORI:
-            result = r1 ^ (instr.imm & _MASK64)
-        elif op == Op.SLLI:
-            result = (r1 << (instr.imm & 63)) & _MASK64
-        elif op == Op.SRLI:
-            result = r1 >> (instr.imm & 63)
-        elif op == Op.SLTI:
-            result = 1 if _signed(r1) < instr.imm else 0
-        elif op == Op.LI:
-            result = instr.imm & _MASK64
-        elif kind == self._K_LOAD:
-            return self._execute_load(instr, low_cycle)
-        elif kind == self._K_STORE:
-            return self._execute_store(instr, low_cycle)
-        elif kind == self._K_BRANCH:
-            taken = self._branch_taken(op, r1, r2)
-            if taken:
-                self.pc = instr.imm
-                return 2  # redirect bubble
-            self.pc += 1
-            return 1
-        elif op == Op.JAL:
-            if instr.rd:
-                regs[instr.rd] = self.pc + 1
-            self.pc = instr.imm
-            return 2
-        elif op == Op.JALR:
-            target = (r1 + instr.imm) & _MASK64
-            if instr.rd:
-                regs[instr.rd] = self.pc + 1
-            self.pc = target
-            return 2
-        elif op == Op.ALERT:
-            self._raise_alert(r1, low_cycle)
-            result = None
-            advance = True
-            self.pc += 1
-            return 1
-        elif op == Op.ALERTI:
-            self._raise_alert(instr.imm, low_cycle)
-            self.pc += 1
-            return 1
-        elif op == Op.CSRR:
-            result = self.engine_id
-        elif op == Op.NOP:
-            result = None
-        elif op == Op.HALT:
-            self.halted = True
-            return 1
-        else:  # pragma: no cover - exhaustive
-            raise SimulationError(f"unhandled op {op}")
-
-        if result is not None and instr.rd:
-            regs[instr.rd] = result
-            if op == Op.MUL and self._hazard_next_uses(instr.rd):
-                cost += 1
-        if advance:
-            self.pc += 1
-        return cost
-
-    def _branch_taken(self, op: Op, r1: int, r2: int) -> bool:
-        if op == Op.BEQ:
-            return r1 == r2
-        if op == Op.BNE:
-            return r1 != r2
-        if op == Op.BLT:
-            return _signed(r1) < _signed(r2)
-        if op == Op.BGE:
-            return _signed(r1) >= _signed(r2)
-        if op == Op.BLTU:
-            return r1 < r2
-        return r1 >= r2  # BGEU
-
-    def _execute_load(self, instr: UInstr, low_cycle: int) -> int:
-        addr = (self.regs[instr.rs1] + instr.imm) & _MASK64
-        size = MEM_SIZES[instr.op]
-        if instr.op == Op.LB:
-            value = self.memory.data.load_signed(addr, size) & _MASK64
-        else:
-            value = self.memory.data.load(addr, size)
-        if instr.rd:
-            self.regs[instr.rd] = value
-        cost = 1 + self.tlb.translate(addr)
-        hit, mshr = self.l1d.lookup(addr, low_cycle,
-                                    self.config.ucore_l2_latency)
-        cost += mshr
-        if not hit:
-            cost += self.memory.miss_latency(addr, low_cycle)
-        if self._hazard_next_uses(instr.rd):
-            cost += 1  # load-use bubble
-        self.pc += 1
-        return cost
-
-    def _execute_store(self, instr: UInstr, low_cycle: int) -> int:
-        addr = (self.regs[instr.rs1] + instr.imm) & _MASK64
-        size = MEM_SIZES[instr.op]
-        self.memory.data.store(addr, self.regs[instr.rs2], size)
-        cost = 1 + self.tlb.translate(addr)
-        # Write-allocate: a missing line is fetched before the write.
-        hit, mshr = self.l1d.lookup(addr, low_cycle,
-                                    self.config.ucore_l2_latency)
-        cost += mshr
-        if not hit:
-            cost += self.memory.miss_latency(addr, low_cycle)
-        self._instrs_since_effect = 0
-        self.pc += 1
-        return cost
-
-    def _execute_queue_op(self, instr: UInstr, low_cycle: int) -> int:
-        op = instr.op
-        ctrl = self.controller
-        regs = self.regs
-        result: int | None = None
-
-        if op == Op.QCOUNT:
-            result = ctrl.count(instr.imm)
-        elif op == Op.QTOP:
-            if ctrl.input_queue.empty:
-                self._blocked_on = self._WAIT_INPUT
-                return 0
-            result = ctrl.input_queue.top(instr.imm)
-        elif op == Op.QPOP:
-            if ctrl.input_queue.empty:
-                self._blocked_on = self._WAIT_INPUT
-                return 0
-            result = ctrl.input_queue.pop(instr.imm)
-            self.stat_pops += 1
-            self._instrs_since_effect = 0
-        elif op == Op.QRECENT:
-            result = ctrl.input_queue.recent(instr.imm)
-        elif op == Op.PCOUNT:
-            result = len(ctrl.peer_queue)
-        elif op == Op.PPOP:
-            if ctrl.peer_queue.empty:
-                self._blocked_on = self._WAIT_PEER
-                return 0
-            result = ctrl.peer_queue.pop()
-            self._instrs_since_effect = 0
-        elif op == Op.QPUSH:
-            if not ctrl.push(regs[instr.rs1]):
-                self._blocked_on = self._WAIT_OUTPUT
-                return 0
-            self._instrs_since_effect = 0
-        elif op == Op.QDEST:
-            ctrl.dest_register = regs[instr.rs1] % max(
-                1, len(self.config_engines()))
-        else:  # pragma: no cover - exhaustive
-            raise SimulationError(f"unhandled queue op {op}")
-
-        if result is not None and instr.rd:
-            regs[instr.rd] = result
-
-        used_next = (result is not None
-                     and self._hazard_next_uses(instr.rd))
-        cost = self.isax.cost(result_used_next=used_next,
-                              back_to_back=self._prev_was_queue_op)
-        self.pc += 1
-        return cost
+        self._tick(self, self._st, self.regs, self._prog, low_cycle)
 
     def config_engines(self) -> range:
         return range(self.config.num_engines)
-
-    def _raise_alert(self, code: int, low_cycle: int) -> None:
-        self.stat_alerts += 1
-        self._instrs_since_effect = 0
-        if self.on_alert is not None:
-            self.on_alert(self.engine_id, code, low_cycle)

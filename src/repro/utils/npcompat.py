@@ -9,9 +9,15 @@ This module centralises both decisions:
   gates on it instead of importing numpy directly, so a numpy-less
   install degrades to the scalar path rather than failing at import;
 * :func:`resolve_backend` maps the ``REPRO_BACKEND`` environment
-  variable (``vector`` / ``scalar``, default ``vector`` where numpy is
-  available) to the backend actually used, warning once when a
-  requested vector backend has to fall back.
+  variable (``vector`` / ``scalar`` / ``compiled``, default ``vector``
+  where numpy is available) to the backend actually used, warning once
+  when a requested vector backend has to fall back.
+
+The ``compiled`` backend is the vector backend plus the C-compiled
+hotpath kernels (:mod:`repro.hotpath`).  It does not itself require
+numpy — without numpy the columnar plans are skipped and the kernels
+still carry the speedup — and without a build artifact it runs the
+bit-identical interpreted kernels, so the flag is always safe.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 BACKEND_VECTOR = "vector"
 BACKEND_SCALAR = "scalar"
+BACKEND_COMPILED = "compiled"
 
 _warned_fallback = False
 
@@ -47,7 +54,7 @@ def _warn_fallback(reason: str) -> None:
 
 
 def resolve_backend(requested: str | None = None) -> str:
-    """The backend to use: ``"vector"`` or ``"scalar"``.
+    """The backend to use: ``"vector"``, ``"scalar"`` or ``"compiled"``.
 
     ``requested`` overrides the ``REPRO_BACKEND`` environment variable
     (a session constructor argument beats ambient configuration).  An
@@ -55,15 +62,19 @@ def resolve_backend(requested: str | None = None) -> str:
     bit-identical (tests/test_vector_identity.py), so the fast one is
     the default — unless numpy is missing, in which case the request
     degrades to ``scalar`` with a one-time warning only when vector was
-    explicitly asked for.
+    explicitly asked for.  ``compiled`` never degrades: the hotpath
+    layer falls back to its bit-identical interpreted kernels (with its
+    own one-time warning) and skips the columnar plans without numpy.
     """
     if requested is None:
         requested = os.environ.get(BACKEND_ENV, "") or BACKEND_VECTOR
     requested = requested.strip().lower()
-    if requested not in (BACKEND_VECTOR, BACKEND_SCALAR):
+    if requested not in (BACKEND_VECTOR, BACKEND_SCALAR,
+                         BACKEND_COMPILED):
         raise ValueError(
             f"unknown backend {requested!r}: expected "
-            f"'{BACKEND_VECTOR}' or '{BACKEND_SCALAR}'")
+            f"'{BACKEND_VECTOR}', '{BACKEND_SCALAR}' or "
+            f"'{BACKEND_COMPILED}'")
     if requested == BACKEND_VECTOR and not HAVE_NUMPY:
         if os.environ.get(BACKEND_ENV, "").strip().lower() \
                 == BACKEND_VECTOR:

@@ -1,12 +1,18 @@
-"""Differential grid: the vector backend is bit-identical to scalar.
+"""Differential grid: every backend is bit-identical to scalar.
 
 The vector backend (columnar decode + precomputed filter plan +
-vectorized kernel pre-checks) is pure acceleration — DESIGN.md pins
-the scalar record-at-a-time path as the reference semantics.  These
-tests enforce that with a three-way grid: for every cell of
-{benchmark × kernel set × engine count × in-memory/streamed}, the
-dense loop, the event loop and the vector backend must produce
-*identical* :class:`SystemResult` objects, field for field.
+vectorized kernel pre-checks) and the compiled backend (vector plus
+the hotpath kernels of :mod:`repro.hotpath`) are pure acceleration —
+DESIGN.md pins the scalar record-at-a-time path as the reference
+semantics.  These tests enforce that with a four-way grid: for every
+cell of {benchmark × kernel set × engine count × in-memory/streamed},
+the dense loop, the event loop, the vector backend and the compiled
+backend must produce *identical* :class:`SystemResult` objects, field
+for field.  The compiled cell runs twice — once with whatever hotpath
+variant is available (the C build when an artifact exists, the
+interpreted kernels otherwise) and once with
+``REPRO_HOTPATH=interpreted`` forcing the interpreted variant — so the
+no-toolchain fallback is itself a pinned grid cell.
 
 Also covered: the single hardware-accelerator configuration, attack
 traces (detections must match, not just cycle counts), the scalar
@@ -14,9 +20,13 @@ fallback, and backend resolution precedence (constructor argument >
 ``REPRO_BACKEND`` env > vector default).
 """
 
+import os
+import warnings
+
 import pytest
 
 from repro.core.system import FireGuardSystem
+from repro.hotpath import HOTPATH_ENV
 from repro.kernels import make_kernel
 from repro.sim import SimulationSession
 from repro.trace.attacks import AttackKind, inject_attacks
@@ -25,6 +35,7 @@ from repro.trace.io import save_trace
 from repro.trace.profiles import PARSEC_PROFILES
 from repro.trace.stream import StreamedTrace
 from repro.utils.npcompat import (
+    BACKEND_COMPILED,
     BACKEND_ENV,
     BACKEND_SCALAR,
     BACKEND_VECTOR,
@@ -47,32 +58,51 @@ def build_system(kernel_names, engines):
         engines_per_kernel={name: engines for name in kernel_names})
 
 
-def run_three_ways(make_system, trace_factory):
-    """Dense/scalar, event/scalar and event/vector results for one
-    configuration; each session gets a fresh system and trace source
-    (streamed sources are forward-only, so no sharing)."""
+def run_backend_grid(make_system, trace_factory):
+    """Dense/scalar, event/scalar, event/vector, event/compiled and
+    event/compiled-forced-interpreted results for one configuration;
+    each session gets a fresh system and trace source (streamed
+    sources are forward-only, so no sharing)."""
     results = {}
     for label, dense, backend in (
             ("dense", True, BACKEND_SCALAR),
             ("event", False, BACKEND_SCALAR),
-            ("vector", False, BACKEND_VECTOR)):
+            ("vector", False, BACKEND_VECTOR),
+            ("compiled", False, BACKEND_COMPILED),
+            ("compiled-interp", False, BACKEND_COMPILED)):
         session = SimulationSession(make_system(), dense=dense,
                                     backend=backend)
-        results[label] = session.run(trace_factory())
+        forced = label == "compiled-interp"
+        saved = os.environ.get(HOTPATH_ENV)
+        try:
+            if forced:
+                os.environ[HOTPATH_ENV] = "interpreted"
+            with warnings.catch_warnings():
+                # The no-artifact fallback warns once per process; the
+                # grid pins its results, not its noise.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results[label] = session.run(trace_factory())
+        finally:
+            if forced:
+                if saved is None:
+                    os.environ.pop(HOTPATH_ENV, None)
+                else:
+                    os.environ[HOTPATH_ENV] = saved
     return results
 
 
 def assert_identical(results):
-    assert results["dense"] == results["event"], \
-        "event loop diverged from dense"
-    assert results["dense"] == results["vector"], \
-        "vector backend diverged from dense"
+    reference = results["dense"]
+    for label, result in results.items():
+        assert reference == result, \
+            f"{label} diverged from dense"
 
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="vector backend needs numpy")
 class TestIdentityGrid:
     """The satellite grid: {2 benchmarks × 2 kernel sets × 4/12
-    engines × in-memory/streamed}, three loops per cell."""
+    engines × in-memory/streamed}, five cells per point (dense,
+    event, vector, compiled, compiled-forced-interpreted)."""
 
     @pytest.mark.parametrize("bench", ["swaptions", "dedup"])
     @pytest.mark.parametrize("kernel_set", sorted(KERNEL_SETS))
@@ -81,7 +111,7 @@ class TestIdentityGrid:
         names = KERNEL_SETS[kernel_set]
         trace = generate_trace(PARSEC_PROFILES[bench], seed=11,
                                length=TRACE_LEN)
-        assert_identical(run_three_ways(
+        assert_identical(run_backend_grid(
             lambda: build_system(names, engines), lambda: trace))
 
     @pytest.mark.parametrize("bench", ["swaptions", "dedup"])
@@ -93,7 +123,7 @@ class TestIdentityGrid:
                                length=TRACE_LEN)
         path = tmp_path / "t.fgt"
         save_trace(trace, path)
-        results = run_three_ways(
+        results = run_backend_grid(
             lambda: build_system(names, engines),
             lambda: StreamedTrace(path, chunk_records=512))
         assert_identical(results)
@@ -121,7 +151,7 @@ class TestAttackIdentity:
                                length=5000)
         inject_attacks(trace, kind, 8,
                        pmc_bounds=(DEFAULT_BOUND_LO, DEFAULT_BOUND_HI))
-        results = run_three_ways(
+        results = run_backend_grid(
             lambda: build_system((kernel,), 4), lambda: trace)
         assert_identical(results)
         assert results["vector"].detections == \
@@ -136,7 +166,7 @@ class TestAttackIdentity:
             return FireGuardSystem([make_kernel("asan")],
                                    accelerated={"asan"})
 
-        results = run_three_ways(ha_system, lambda: trace)
+        results = run_backend_grid(ha_system, lambda: trace)
         assert_identical(results)
         assert results["vector"].detections
 
@@ -163,6 +193,13 @@ class TestBackendResolution:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("simd")
+
+    def test_compiled_backend_accepted(self):
+        # compiled never degrades at resolution time: the hotpath
+        # layer handles a missing artifact itself (warn + interpreted
+        # kernels), so the resolver passes it through even with no
+        # toolchain anywhere near the machine.
+        assert resolve_backend(BACKEND_COMPILED) == BACKEND_COMPILED
 
     def test_scalar_backend_runs_without_plans(self):
         trace = generate_trace(PARSEC_PROFILES["swaptions"], seed=11,
