@@ -12,6 +12,12 @@ from repro.analysis.area import (
     soc_overhead,
 )
 from repro.analysis.bottleneck import BottleneckReport, bottleneck_report
+from repro.analysis.coverage import (
+    MATCHING_KERNEL,
+    CoverageCell,
+    CoverageMatrix,
+    summarize,
+)
 from repro.analysis.metrics import SlowdownTable
 from repro.analysis.report import format_table
 
@@ -19,7 +25,10 @@ __all__ = [
     "AreaBreakdown",
     "BottleneckReport",
     "COMMERCIAL_PROCESSORS",
+    "CoverageCell",
+    "CoverageMatrix",
     "FIREGUARD_AREA",
+    "MATCHING_KERNEL",
     "ProcessorSpec",
     "SlowdownTable",
     "SocSpec",
@@ -29,4 +38,5 @@ __all__ = [
     "fireguard_area_breakdown",
     "format_table",
     "soc_overhead",
+    "summarize",
 ]

@@ -1,0 +1,205 @@
+"""Detection-coverage matrix over a fuzzed corpus.
+
+The campaign fuzzer (:mod:`repro.trace.fuzz`) yields scenarios plus
+exact per-attack ground truth; this module joins that truth against
+the detections of executed runs into an (attack kind × guardian
+kernel × workload family) matrix.  The matrix answers the two
+questions the paper spot-checks and the corpus generalizes:
+
+* **Coverage** — is every injected attack of kind *K* detected by
+  *K*'s matching kernel, on every family it was injected into?
+  :meth:`CoverageMatrix.gaps` lists the matching-kernel cells where
+  ``detected < injected`` — the cells CI's ``fuzz-smoke`` job fails
+  on.
+* **Precision** — do clean records ever alarm?  Any alert without an
+  ``attack_id`` is a false positive, whether the run carried attacks
+  or not; attack-free campaigns additionally assert zero detections
+  end to end.
+
+Off-diagonal cells (kind against a non-matching kernel) are reported
+but not gated: a shadow stack is *expected* to ignore a redzone poke,
+and the matrix shows it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.system import SystemResult
+from repro.trace.attacks import AttackKind, AttackSite
+
+__all__ = [
+    "MATCHING_KERNEL",
+    "CoverageCell",
+    "CoverageMatrix",
+    "summarize",
+]
+
+#: The kernel each attack kind is aimed at (§IV-B's pairing).
+MATCHING_KERNEL: dict[AttackKind, str] = {
+    AttackKind.RET_HIJACK: "shadow_stack",
+    AttackKind.OOB_ACCESS: "asan",
+    AttackKind.UAF_ACCESS: "uaf",
+    AttackKind.PMC_BOUND: "pmc",
+}
+
+
+@dataclass
+class CoverageCell:
+    """One (kind, kernel, family) aggregate."""
+
+    kind: str
+    kernel: str
+    family: str
+    injected: int = 0
+    detected: int = 0
+    runs: int = 0
+
+    @property
+    def matching(self) -> bool:
+        return MATCHING_KERNEL[AttackKind[self.kind]] == self.kernel
+
+    @property
+    def complete(self) -> bool:
+        return self.detected >= self.injected
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "kernel": self.kernel,
+                "family": self.family, "injected": self.injected,
+                "detected": self.detected, "runs": self.runs,
+                "matching": self.matching}
+
+
+@dataclass
+class CoverageMatrix:
+    """Accumulates (ground truth, executed result) joins."""
+
+    cells: dict[tuple[str, str, str], CoverageCell] = field(
+        default_factory=dict)
+    false_positives: dict[str, int] = field(default_factory=dict)
+    clean_runs: int = 0
+    clean_detections: int = 0
+    runs: int = 0
+
+    def _cell(self, kind: AttackKind, kernel: str,
+              family: str) -> CoverageCell:
+        key = (kind.name, kernel, family)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = CoverageCell(kind=kind.name, kernel=kernel,
+                                family=family)
+            self.cells[key] = cell
+        return cell
+
+    def record(self, family: str, kernel: str,
+               sites: Iterable[AttackSite],
+               result: SystemResult,
+               attack_free: bool = False) -> None:
+        """Join one run's detections against its ground truth.
+
+        ``sites`` is the composed scenario's exact site list;
+        ``result.detections`` is keyed by the same attack ids.  Alerts
+        without an attack id are clean-record alarms — false
+        positives, attributed to the run's kernel.
+        """
+        self.runs += 1
+        by_kind: dict[AttackKind, list[AttackSite]] = {}
+        for site in sites:
+            by_kind.setdefault(site.kind, []).append(site)
+        for kind, kind_sites in sorted(by_kind.items(),
+                                       key=lambda kv: kv[0].name):
+            cell = self._cell(kind, kernel, family)
+            cell.runs += 1
+            cell.injected += len(kind_sites)
+            cell.detected += sum(
+                1 for site in kind_sites
+                if site.attack_id in result.detections)
+        ghosts = sum(1 for alert in result.alerts
+                     if alert.attack_id is None)
+        if ghosts:
+            self.false_positives[kernel] = \
+                self.false_positives.get(kernel, 0) + ghosts
+        if attack_free:
+            self.clean_runs += 1
+            self.clean_detections += len(result.detections) \
+                + len(result.alerts)
+
+    def gaps(self) -> list[CoverageCell]:
+        """Matching-kernel cells with undetected injections — the
+        cells the coverage gate fails on."""
+        return [cell for cell in self.cells.values()
+                if cell.matching and cell.injected and
+                not cell.complete]
+
+    def kind_families(self) -> dict[str, list[str]]:
+        """Per attack kind, the families where its matching kernel
+        fully detected a non-empty injection (the acceptance
+        criterion counts these)."""
+        out: dict[str, list[str]] = {kind.name: []
+                                     for kind in AttackKind}
+        for cell in self.cells.values():
+            if cell.matching and cell.injected and cell.complete:
+                out[cell.kind].append(cell.family)
+        return {kind: sorted(set(families))
+                for kind, families in out.items()}
+
+    def total_false_positives(self) -> int:
+        return sum(self.false_positives.values()) \
+            + self.clean_detections
+
+    def ok(self) -> bool:
+        """The gate: no matching-cell gap, no false positive."""
+        return not self.gaps() and not self.total_false_positives()
+
+    def rows(self) -> list[list[str]]:
+        """Table rows (header first), matching cells before
+        off-diagonal ones, for :func:`repro.analysis.report.
+        format_table`."""
+        header = ["kind", "kernel", "family", "injected", "detected",
+                  "runs", "cell"]
+        body = [[cell.kind, cell.kernel, cell.family,
+                 str(cell.injected), str(cell.detected),
+                 str(cell.runs),
+                 "MATCH" if cell.matching else "cross"]
+                for cell in self.cells.values()]
+        body.sort(key=lambda row: (row[6] != "MATCH", row[0], row[1],
+                                   row[2]))
+        return [header] + body
+
+    def to_dict(self, **extra: object) -> dict:
+        """The ``COVERAGE_fuzz.json`` document body; ``extra`` adds
+        harness metadata (seed, corpus digest, campaign count)."""
+        return {
+            "cells": [self.cells[key].as_dict()
+                      for key in sorted(self.cells)],
+            "gaps": [cell.as_dict() for cell in self.gaps()],
+            "kind_families": self.kind_families(),
+            "false_positives": dict(sorted(
+                self.false_positives.items())),
+            "clean_runs": self.clean_runs,
+            "clean_detections": self.clean_detections,
+            "runs": self.runs,
+            "ok": self.ok(),
+            **extra,
+        }
+
+
+def summarize(matrices: Mapping[str, CoverageMatrix]) -> dict:
+    """Merge labelled matrices into one document (multi-backend or
+    multi-fleet aggregation hook)."""
+    merged = CoverageMatrix()
+    for matrix in matrices.values():
+        merged.runs += matrix.runs
+        merged.clean_runs += matrix.clean_runs
+        merged.clean_detections += matrix.clean_detections
+        for kernel, count in matrix.false_positives.items():
+            merged.false_positives[kernel] = \
+                merged.false_positives.get(kernel, 0) + count
+        for key, cell in matrix.cells.items():
+            target = merged._cell(AttackKind[cell.kind], cell.kernel,
+                                  cell.family)
+            target.injected += cell.injected
+            target.detected += cell.detected
+            target.runs += cell.runs
+    return merged.to_dict(sources=sorted(matrices))

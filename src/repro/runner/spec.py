@@ -154,7 +154,8 @@ class RunSpec:
         attacks = None
         if self.attacks is not None:
             attacks = (self.attacks.kind.name, self.attacks.count,
-                       self.attacks.pmc_bounds)
+                       self.attacks.pmc_bounds,
+                       self.attacks.placement)
         return (self.benchmark, self.system_key(), self.seed,
                 self.resolved_length(), attacks, self.software,
                 self.need_baseline, self.scenario_token(), self.stream)

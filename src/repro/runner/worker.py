@@ -228,7 +228,8 @@ def _stream_plain(spec: RunSpec) -> tuple[StreamedTrace, int, str]:
     length = spec.resolved_length()
     attacks = spec.attacks
     token = None if attacks is None else (
-        attacks.kind.name, attacks.count, attacks.pmc_bounds)
+        attacks.kind.name, attacks.count, attacks.pmc_bounds,
+        attacks.placement)
     key = ("plain", spec.benchmark, spec.seed, length, token)
     cached = _STREAMED.get(key)
     if cached is None:
@@ -246,7 +247,8 @@ def _stream_plain(spec: RunSpec) -> tuple[StreamedTrace, int, str]:
             trace = generate_trace(profile, seed=spec.seed,
                                    length=length)
             sites = inject_attacks(trace, attacks.kind, attacks.count,
-                                   pmc_bounds=attacks.pmc_bounds)
+                                   pmc_bounds=attacks.pmc_bounds,
+                                   placement=attacks.placement)
             injected = len(sites)
             with TraceWriter(tmp, name=trace.name,
                              seed=trace.seed) as writer:
@@ -298,7 +300,8 @@ def _trace_for(spec: RunSpec) -> tuple["Trace | StreamedTrace", int, str]:
     trace = generate_trace(PARSEC_PROFILES[spec.benchmark],
                            seed=spec.seed, length=length)
     sites = inject_attacks(trace, spec.attacks.kind, spec.attacks.count,
-                           pmc_bounds=spec.attacks.pmc_bounds)
+                           pmc_bounds=spec.attacks.pmc_bounds,
+                           placement=spec.attacks.placement)
     return trace, len(sites), ""
 
 
@@ -331,7 +334,8 @@ def _baseline_for(spec: RunSpec, trace) -> int:
         # never materialises the workload just for the denominator.
         attacks = spec.attacks
         token = None if attacks is None else (
-            attacks.kind.name, attacks.count, attacks.pmc_bounds)
+            attacks.kind.name, attacks.count, attacks.pmc_bounds,
+            attacks.placement)
         key = (spec.benchmark, spec.seed, spec.resolved_length(),
                token)
     cycles = _BASELINES.get(key)

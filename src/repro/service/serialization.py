@@ -53,7 +53,8 @@ __all__ = [
 
 #: Bump whenever the document layout changes incompatibly; stored
 #: entries with any other stamp are ignored (re-run), never reused.
-SCHEMA_VERSION = 1
+#: v2: AttackPlan gained ``placement``.
+SCHEMA_VERSION = 2
 
 
 class SchemaMismatchError(StoreError):
@@ -72,14 +73,16 @@ def canonical_dumps(payload: dict) -> bytes:
 def _plan_to_dict(plan: AttackPlan) -> dict:
     return {"kind": plan.kind.name, "count": plan.count,
             "pmc_bounds": list(plan.pmc_bounds)
-            if plan.pmc_bounds is not None else None}
+            if plan.pmc_bounds is not None else None,
+            "placement": plan.placement}
 
 
 def _plan_from_dict(d: dict) -> AttackPlan:
     bounds = d["pmc_bounds"]
     return AttackPlan(kind=AttackKind[d["kind"]], count=d["count"],
                       pmc_bounds=tuple(bounds)
-                      if bounds is not None else None)
+                      if bounds is not None else None,
+                      placement=d["placement"])
 
 
 def _profile_to_dict(profile: WorkloadProfile) -> dict:

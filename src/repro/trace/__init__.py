@@ -7,10 +7,28 @@ characterisation data (see DESIGN.md's substitution table).
 """
 
 from repro.trace.attacks import (
+    PLACEMENTS,
     AttackKind,
     AttackPlan,
     AttackSite,
     inject_attacks,
+)
+from repro.trace.families import (
+    FAMILIES,
+    FAMILY_KINDS,
+    FAMILY_LIBRARY,
+    FAMILY_SCENARIO_NAMES,
+    FamilyConfig,
+    make_family_scenario,
+)
+from repro.trace.fuzz import (
+    DEFAULT_FUZZ_SEED,
+    FuzzCase,
+    FuzzConfig,
+    corpus_digest,
+    fuzz_case,
+    fuzz_corpus,
+    iter_corpus,
 )
 from repro.trace.generator import TraceGenerator, generate_trace
 from repro.trace.profiles import (
@@ -41,10 +59,19 @@ __all__ = [
     "AttackKind",
     "AttackPlan",
     "AttackSite",
+    "DEFAULT_FUZZ_SEED",
+    "FAMILIES",
+    "FAMILY_KINDS",
+    "FAMILY_LIBRARY",
+    "FAMILY_SCENARIO_NAMES",
+    "FamilyConfig",
+    "FuzzCase",
+    "FuzzConfig",
     "HeapObject",
     "InstrRecord",
     "PARSEC_BENCHMARKS",
     "PARSEC_PROFILES",
+    "PLACEMENTS",
     "Phase",
     "SCENARIOS",
     "SCENARIO_NAMES",
@@ -57,9 +84,14 @@ __all__ = [
     "WorkloadProfile",
     "compose_stream",
     "compose_trace",
+    "corpus_digest",
     "file_digest",
+    "fuzz_case",
+    "fuzz_corpus",
     "generate_trace",
     "inject_attacks",
+    "iter_corpus",
+    "make_family_scenario",
     "make_scenario",
     "register_scenario",
     "stream_trace",

@@ -22,6 +22,17 @@ from repro.trace.record import Trace
 HIJACK_BASE = 0x0000_00DE_AD00_0000
 OUTSIDE_BOUNDS_BASE = 0x0000_F000_0000_0000
 
+#: Where an injection clusters its sites within the eligible window.
+#: ``spread`` keeps the paper's evenly-strided sampling; the other
+#: values are the adversarial corners the campaign fuzzer probes:
+#: ``early`` packs attacks right after the warm-up skip, ``late``
+#: packs them against the end of the trace — for scenario phases that
+#: is the phase boundary, where the compositor's balancing unwind
+#: returns live — and ``gap`` (out-of-bounds only, otherwise a
+#: synonym for ``late``) aims at the highest-addressed live object,
+#: whose redzone abuts the inter-phase heap gap.
+PLACEMENTS: tuple[str, ...] = ("spread", "early", "late", "gap")
+
 
 class AttackKind(Enum):
     """One injection kind per guardian kernel."""
@@ -43,10 +54,15 @@ class AttackPlan:
     kind: AttackKind
     count: int
     pmc_bounds: tuple[int, int] | None = None
+    placement: str = "spread"
 
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ConfigError("attack count must be positive")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; "
+                f"available: {PLACEMENTS}")
 
 
 @dataclass(frozen=True)
@@ -59,35 +75,63 @@ class AttackSite:
     detail: str = ""
 
 
+#: Minimum candidate spacing for the packed placements.  Alert
+#: attribution looks back ``MessageQueue.ATTRIBUTION_WINDOW`` (8)
+#: pops, so two attack packets inside one window would both attribute
+#: to the newer id and the older site would read as undetected.
+_PACKED_STRIDE = 12
+
+
 def _spaced_choices(candidates: list[int], count: int,
-                    trace_len: int) -> list[int]:
-    """Pick ``count`` candidate indices spread across the trace, so the
-    latency sample is not clustered in one warm/cold phase."""
+                    trace_len: int,
+                    placement: str = "spread") -> list[int]:
+    """Pick ``count`` candidate indices per the placement policy:
+    evenly strided across the trace by default (so the latency sample
+    is not clustered in one warm/cold phase), or packed against the
+    start/end of the eligible window for the adversarial corners
+    (packed sites still keep :data:`_PACKED_STRIDE` candidates of
+    daylight so each stays individually attributable)."""
     if not candidates:
         return []
     if len(candidates) <= count:
         return list(candidates)
+    if placement in ("early", "late", "gap"):
+        stride = max(1, min(_PACKED_STRIDE,
+                            len(candidates) // count))
+        if placement == "early":
+            return list(candidates[:count * stride:stride])
+        start = len(candidates) - 1 - (count - 1) * stride
+        return list(candidates[start::stride])[:count]
     stride = len(candidates) / count
     return [candidates[int(i * stride)] for i in range(count)]
 
 
 def inject_attacks(trace: Trace, kind: AttackKind, count: int,
                    pmc_bounds: tuple[int, int] | None = None,
-                   min_seq: int = 256) -> list[AttackSite]:
+                   min_seq: int = 256,
+                   placement: str = "spread") -> list[AttackSite]:
     """Mutate ``trace`` in place, injecting ``count`` attacks of ``kind``.
 
     Returns the attack sites (for latency attribution).  ``min_seq``
     skips the trace's warm-up prefix, like the paper's steady-state
-    injection.
+    injection.  ``placement`` positions the sites within the eligible
+    window (see :data:`PLACEMENTS`).  Records already claimed by an
+    earlier injection are never re-used, so plans stacked on one trace
+    keep disjoint sites and exact per-attack ground truth.
     """
     if count <= 0:
         raise TraceError(f"attack count must be positive, got {count}")
+    if placement not in PLACEMENTS:
+        raise TraceError(f"unknown placement {placement!r}; "
+                         f"available: {PLACEMENTS}")
     records = trace.records
 
     if kind is AttackKind.RET_HIJACK:
         candidates = [i for i, r in enumerate(records)
-                      if r.iclass is InstrClass.RET and r.seq >= min_seq]
-        chosen = _spaced_choices(candidates, count, len(records))
+                      if r.iclass is InstrClass.RET and r.seq >= min_seq
+                      and r.attack_id is None]
+        chosen = _spaced_choices(candidates, count, len(records),
+                                 placement)
         sites = []
         for attack_id, idx in enumerate(chosen):
             rec = records[idx]
@@ -98,18 +142,20 @@ def inject_attacks(trace: Trace, kind: AttackKind, count: int,
         return sites
 
     if kind is AttackKind.OOB_ACCESS:
-        return _inject_oob(trace, count, min_seq)
+        return _inject_oob(trace, count, min_seq, placement)
 
     if kind is AttackKind.UAF_ACCESS:
-        return _inject_uaf(trace, count, min_seq)
+        return _inject_uaf(trace, count, min_seq, placement)
 
     if kind is AttackKind.PMC_BOUND:
         if pmc_bounds is None:
             raise TraceError("PMC_BOUND injection needs pmc_bounds")
         lo, hi = pmc_bounds
         candidates = [i for i, r in enumerate(records)
-                      if r.is_mem and r.seq >= min_seq]
-        chosen = _spaced_choices(candidates, count, len(records))
+                      if r.is_mem and r.seq >= min_seq
+                      and r.attack_id is None]
+        chosen = _spaced_choices(candidates, count, len(records),
+                                 placement)
         sites = []
         for attack_id, idx in enumerate(chosen):
             rec = records[idx]
@@ -123,23 +169,31 @@ def inject_attacks(trace: Trace, kind: AttackKind, count: int,
     raise TraceError(f"unknown attack kind {kind!r}")
 
 
-def _inject_oob(trace: Trace, count: int, min_seq: int) -> list[AttackSite]:
+def _inject_oob(trace: Trace, count: int, min_seq: int,
+                placement: str = "spread") -> list[AttackSite]:
     """Point loads/stores just past a live object's end (into the
-    redzone the ASan kernel poisons around every allocation)."""
+    redzone the ASan kernel poisons around every allocation).  The
+    ``gap`` placement always picks the highest-addressed live object,
+    so the poked redzone is the one bordering the compositor's
+    inter-phase heap gap."""
     records = trace.records
     candidates = []
     for i, rec in enumerate(records):
-        if not rec.is_mem or rec.seq < min_seq:
+        if not rec.is_mem or rec.seq < min_seq \
+                or rec.attack_id is not None:
             continue
         live = [o for o in trace.objects if o.live_at(rec.seq)]
         if live:
             candidates.append(i)
-    chosen = _spaced_choices(candidates, count, len(records))
+    chosen = _spaced_choices(candidates, count, len(records), placement)
     sites = []
     for attack_id, idx in enumerate(chosen):
         rec = records[idx]
         live = [o for o in trace.objects if o.live_at(rec.seq)]
-        obj = live[attack_id % len(live)]
+        if placement == "gap":
+            obj = max(live, key=lambda o: o.end)
+        else:
+            obj = live[attack_id % len(live)]
         rec.mem_addr = obj.end + 1  # inside the 16-byte right redzone
         rec.mem_size = 1
         rec.attack_id = attack_id
@@ -208,8 +262,13 @@ def _synthesize_frees(trace: Trace, needed: int, min_seq: int) -> None:
         cursor += max(2, len(alu) // max(1, needed))
 
 
-def _inject_uaf(trace: Trace, count: int, min_seq: int) -> list[AttackSite]:
-    """Point loads at freed (quarantined) regions after their free."""
+def _inject_uaf(trace: Trace, count: int, min_seq: int,
+                placement: str = "spread") -> list[AttackSite]:
+    """Point loads at freed (quarantined) regions after their free.
+    ``late`` placement favours the objects freed last, so the dangling
+    access lands as close to the end of the trace — for scenario
+    phases, the phase boundary — as the quarantine-ageing window
+    allows."""
     records = trace.records
     freed = [o for o in trace.objects
              if o.free_seq is not None and o.free_seq >= min_seq]
@@ -222,9 +281,21 @@ def _inject_uaf(trace: Trace, count: int, min_seq: int) -> list[AttackSite]:
             "trace has no freed objects and none could be planted; "
             "increase the trace length")
     loads = [i for i, r in enumerate(records)
-             if r.iclass is InstrClass.LOAD]
+             if r.iclass is InstrClass.LOAD and r.attack_id is None]
     sites: list[AttackSite] = []
-    freed_iter = _spaced_choices(list(range(len(freed))), count, len(freed))
+    freed.sort(key=lambda o: o.free_seq)
+    # Only objects whose quarantine has a load left to age into are
+    # placement candidates; ``late`` then lands on the *latest* free
+    # the ageing window still allows, instead of dying on frees too
+    # close to the trace end to ever be dereferenced.
+    last_load_seq = records[loads[-1]].seq if loads else -1
+    freed = [o for o in freed if o.free_seq + 1100 <= last_load_seq]
+    if not freed:
+        raise TraceError(
+            "every freed object sits too close to the trace end for "
+            "its quarantine to age; increase the trace length")
+    freed_iter = _spaced_choices(list(range(len(freed))), count,
+                                 len(freed), placement)
     for attack_id, fidx in enumerate(freed_iter):
         obj = freed[fidx]
         # First load comfortably after the free: quarantine poisoning

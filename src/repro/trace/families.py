@@ -1,0 +1,227 @@
+"""Parameterized workload families (ROADMAP: scenario diversity).
+
+The scenario library holds a handful of hand-written compositions; a
+*family* is a small declarative config that expands into arbitrarily
+many of them.  Each family fixes a phase-mix *shape* — how workload
+intensity evolves over the composition — and :class:`FamilyConfig`
+parameterizes it over the PARSEC profiles, phase counts, lengths and
+an intensity knob:
+
+``static``
+    Homogeneous steady state: ``phases`` equal-length phases cycling
+    through the configured profiles (one profile = the paper's
+    fixed-shape workloads, reproduced by composition).
+``ramp``
+    Monotone load ramp: phase lengths grow linearly from
+    ``phase_length`` to ``intensity * phase_length`` — the boot-up /
+    warm-up trajectory of a service taking traffic.
+``oscillating``
+    Profiles alternate at constant length (A-B-A-B…): the diurnal
+    serve/batch alternation.  Needs at least two profiles.
+``bursty``
+    A base profile interrupted by short bursts of the last configured
+    profile: even phases run ``phase_length`` of the base, odd phases
+    ``phase_length / intensity`` of the burst profile.
+
+Families expand through the existing :class:`~repro.trace.scenario.
+Phase` machinery, so everything the compositor guarantees (disjoint
+heaps, balanced call stacks at boundaries, continuous sequence and
+attack ids) holds for every family member, and a member rides in a
+:class:`~repro.runner.spec.RunSpec` like any other scenario —
+inline, or by name once registered.
+
+A default library member per family is registered into
+:data:`~repro.trace.scenario.SCENARIOS` at import
+(:data:`FAMILY_SCENARIO_NAMES`); the campaign fuzzer in
+:mod:`repro.trace.fuzz` draws fresh members instead of reusing these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.trace.attacks import AttackPlan
+from repro.trace.profiles import PARSEC_PROFILES, WorkloadProfile
+from repro.trace.scenario import (
+    IDLE_PROFILE,
+    Phase,
+    Scenario,
+    register_scenario,
+)
+
+#: The smallest phase a family will emit (room for warm-up + attacks).
+MIN_PHASE_LENGTH = 400
+
+
+def resolve_family_profile(profile: str | WorkloadProfile,
+                           ) -> str | WorkloadProfile:
+    """Family profiles are PARSEC names, the special ``idle-poll``
+    pseudo-benchmark, or explicit :class:`WorkloadProfile` instances
+    (the form :class:`Phase` accepts)."""
+    if isinstance(profile, WorkloadProfile):
+        return profile
+    if profile == IDLE_PROFILE.name:
+        return IDLE_PROFILE
+    if profile in PARSEC_PROFILES:
+        return profile
+    raise ConfigError(
+        f"unknown family profile {profile!r}; available: "
+        f"{sorted(PARSEC_PROFILES)} + [{IDLE_PROFILE.name!r}]")
+
+
+def _profile_label(profile: str | WorkloadProfile) -> str:
+    return profile if isinstance(profile, str) else profile.name
+
+
+@dataclass(frozen=True)
+class FamilyConfig:
+    """One family member, declaratively: the family shape plus the
+    small parameter vector that expands it.
+
+    ``attacks`` arms one phase (``attack_phase``, defaulting to the
+    longest) with an attack mix; the default library members are
+    registered clean and armed per-use via
+    :meth:`~repro.trace.scenario.Scenario.with_attacks` or the fuzzer.
+    """
+
+    family: str
+    profiles: tuple[str | WorkloadProfile, ...]
+    phases: int = 4
+    phase_length: int = 1600
+    intensity: float = 2.0
+    attacks: tuple[AttackPlan, ...] = ()
+    attack_phase: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.profiles, tuple):
+            object.__setattr__(self, "profiles", tuple(self.profiles))
+        if not isinstance(self.attacks, tuple):
+            object.__setattr__(self, "attacks", tuple(self.attacks))
+        if self.family not in FAMILIES:
+            raise ConfigError(
+                f"unknown workload family {self.family!r}; "
+                f"available: {sorted(FAMILIES)}")
+        if not self.profiles:
+            raise ConfigError("family needs at least one profile")
+        for profile in self.profiles:
+            resolve_family_profile(profile)
+        if self.phases < 1:
+            raise ConfigError(
+                f"family needs at least one phase, got {self.phases}")
+        if self.phase_length < MIN_PHASE_LENGTH:
+            raise ConfigError(
+                f"family phase_length must be >= {MIN_PHASE_LENGTH}, "
+                f"got {self.phase_length}")
+        if self.intensity < 1.0:
+            raise ConfigError(
+                f"family intensity must be >= 1.0, got "
+                f"{self.intensity}")
+        if self.family in ("oscillating", "bursty") \
+                and len(self.profiles) < 2:
+            raise ConfigError(
+                f"{self.family} family needs two profiles "
+                f"(base and alternate)")
+        if self.attack_phase is not None and not (
+                0 <= self.attack_phase < self.phases):
+            raise ConfigError(
+                f"attack_phase {self.attack_phase} outside the "
+                f"family's {self.phases} phases")
+
+    def name(self) -> str:
+        """Deterministic scenario name for this member."""
+        if self.label:
+            return self.label
+        profiles = "+".join(_profile_label(p) for p in self.profiles)
+        return (f"fam-{self.family}-{profiles}"
+                f"-n{self.phases}-l{self.phase_length}"
+                f"-i{self.intensity:g}")
+
+
+def _cycled(config: FamilyConfig, index: int) -> str | WorkloadProfile:
+    return resolve_family_profile(
+        config.profiles[index % len(config.profiles)])
+
+
+def _static_phases(config: FamilyConfig) -> list[Phase]:
+    return [Phase(_cycled(config, i), config.phase_length,
+                  label=f"static{i}")
+            for i in range(config.phases)]
+
+
+def _ramp_phases(config: FamilyConfig) -> list[Phase]:
+    steps = max(1, config.phases - 1)
+    phases = []
+    for i in range(config.phases):
+        scale = 1.0 + (config.intensity - 1.0) * i / steps
+        length = max(MIN_PHASE_LENGTH,
+                     round(config.phase_length * scale))
+        phases.append(Phase(_cycled(config, i), length,
+                            label=f"ramp{i}"))
+    return phases
+
+
+def _oscillating_phases(config: FamilyConfig) -> list[Phase]:
+    return [Phase(_cycled(config, i), config.phase_length,
+                  label=f"osc{i}")
+            for i in range(config.phases)]
+
+
+def _bursty_phases(config: FamilyConfig) -> list[Phase]:
+    base = resolve_family_profile(config.profiles[0])
+    burst = resolve_family_profile(config.profiles[-1])
+    burst_length = max(MIN_PHASE_LENGTH,
+                       round(config.phase_length / config.intensity))
+    phases = []
+    for i in range(config.phases):
+        if i % 2:
+            phases.append(Phase(burst, burst_length,
+                                label=f"burst{i}"))
+        else:
+            phases.append(Phase(base, config.phase_length,
+                                label=f"base{i}"))
+    return phases
+
+
+FAMILIES: dict[str, Callable[[FamilyConfig], list[Phase]]] = {
+    "static": _static_phases,
+    "ramp": _ramp_phases,
+    "oscillating": _oscillating_phases,
+    "bursty": _bursty_phases,
+}
+
+FAMILY_KINDS: tuple[str, ...] = tuple(FAMILIES)
+
+
+def make_family_scenario(config: FamilyConfig) -> Scenario:
+    """Expand one family config into a :class:`Scenario` (unregistered
+    — the caller owns the name)."""
+    phases = FAMILIES[config.family](config)
+    if config.attacks:
+        index = config.attack_phase
+        if index is None:
+            index = max(range(len(phases)),
+                        key=lambda i: phases[i].length)
+        phases[index] = replace(phases[index], attacks=config.attacks)
+    return Scenario(name=config.name(), phases=tuple(phases))
+
+
+#: The default library member per family, registered by name so
+#: harnesses can reference them like the hand-written scenarios.
+FAMILY_LIBRARY: tuple[FamilyConfig, ...] = (
+    FamilyConfig("static", ("x264",), phases=3, phase_length=2400,
+                 label="fam-static-x264"),
+    FamilyConfig("ramp", ("dedup",), phases=4, phase_length=1200,
+                 intensity=3.0, label="fam-ramp-dedup"),
+    FamilyConfig("oscillating", ("swaptions", "x264"), phases=4,
+                 phase_length=1800, label="fam-osc-swaptions-x264"),
+    FamilyConfig("bursty", ("ferret", IDLE_PROFILE.name), phases=5,
+                 phase_length=1800, intensity=3.0,
+                 label="fam-burst-ferret-idle"),
+)
+
+FAMILY_SCENARIO_NAMES: tuple[str, ...] = tuple(
+    register_scenario(make_family_scenario(config)).name
+    for config in FAMILY_LIBRARY)

@@ -97,7 +97,8 @@ class Phase:
     def _token(self) -> tuple:
         profile = self.profile if isinstance(self.profile, str) \
             else ("custom", self.profile.name, repr(self.profile))
-        attacks = tuple((p.kind.name, p.count, p.pmc_bounds)
+        attacks = tuple((p.kind.name, p.count, p.pmc_bounds,
+                         p.placement)
                         for p in self.attacks)
         return (profile, self.length, attacks)
 
@@ -252,7 +253,8 @@ class ScenarioComposer:
                 try:
                     sites = inject_attacks(
                         phase_trace, plan.kind, plan.count,
-                        pmc_bounds=plan.pmc_bounds)
+                        pmc_bounds=plan.pmc_bounds,
+                        placement=plan.placement)
                 except TraceError as exc:
                     label = phase.label or phase.resolved_profile().name
                     raise TraceError(
@@ -262,15 +264,18 @@ class ScenarioComposer:
                         f"{plan.count} plan: {exc}; compose at a "
                         f"total length of at least "
                         f"{self.scenario.min_total()}") from exc
-                # Injection numbers attacks from 0 within each call;
-                # rebase ids into the composition's space (phase-local
-                # seq == list index, so sites address records directly).
-                for site in sites:
-                    records[site.seq].attack_id = site.attack_id + id_offset
+                # Injection numbers attacks from 0 within each call
+                # (and may fulfil less than the plan when candidates
+                # run out); renumber into the composition's space so
+                # composed ids run 0..N-1 with no gaps (phase-local
+                # seq == list index, so sites address records
+                # directly).
+                for new_id, site in enumerate(sites, start=id_offset):
+                    records[site.seq].attack_id = new_id
                     self.sites.append(AttackSite(
-                        site.attack_id + id_offset,
-                        site.seq + seq_offset, site.kind, site.detail))
-                id_offset += plan.count
+                        new_id, site.seq + seq_offset, site.kind,
+                        site.detail))
+                id_offset += len(sites)
 
             heap_top = max(
                 phase_trace.heap_end,

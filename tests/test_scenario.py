@@ -142,8 +142,18 @@ def test_composition_roundtrips_through_fgtrace1(scenario, seed):
 
 class TestScenarioApi:
     def test_library_registered(self):
-        assert set(SCENARIO_NAMES) == set(SCENARIOS)
+        # The hand-written library is a snapshot; family members
+        # (repro.trace.families) register on top of it later.
+        assert set(SCENARIO_NAMES) <= set(SCENARIOS)
         assert len(SCENARIO_NAMES) >= 4
+
+    def test_family_library_registered(self):
+        from repro.trace.families import FAMILY_SCENARIO_NAMES
+
+        assert set(FAMILY_SCENARIO_NAMES) <= set(SCENARIOS)
+        assert set(FAMILY_SCENARIO_NAMES).isdisjoint(SCENARIO_NAMES)
+        for name in FAMILY_SCENARIO_NAMES:
+            assert make_scenario(name).name == name
 
     def test_make_scenario_unknown(self):
         with pytest.raises(TraceError, match="unknown scenario"):

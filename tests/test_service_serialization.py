@@ -45,7 +45,8 @@ def rich_spec(**overrides):
         seed=23,
         length=4000,
         attacks=AttackPlan(AttackKind.OOB_ACCESS, 12,
-                           pmc_bounds=(0x1000, 0x2000)),
+                           pmc_bounds=(0x1000, 0x2000),
+                           placement="late"),
     )
     kwargs.update(overrides)
     return RunSpec(**kwargs)

@@ -171,6 +171,54 @@ class TestAttackIdentity:
         assert results["vector"].detections
 
 
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector backend needs numpy")
+class TestFuzzedIdentity:
+    """Fuzzer-generated campaigns are grid cells too: multi-phase
+    compositions with stacked adversarial-placement attack plans must
+    be bit-identical across every backend, streamed or in-memory."""
+
+    CASES = (1, 2)  # armed campaigns with distinct primary kinds
+
+    def _case(self, index):
+        from repro.trace.fuzz import FuzzConfig, fuzz_case
+
+        config = FuzzConfig(campaigns=4, min_phase=700, max_phase=900)
+        case = fuzz_case(config, index)
+        assert not case.attack_free
+        return case
+
+    @pytest.mark.parametrize("index", CASES)
+    def test_in_memory(self, index):
+        from repro.trace.scenario import compose_trace
+
+        case = self._case(index)
+        trace, sites = compose_trace(case.scenario, case.seed)
+        results = run_backend_grid(
+            lambda: build_system(("asan", "pmc", "shadow_stack"), 2),
+            lambda: trace)
+        assert_identical(results)
+        assert sites and results["dense"].detections
+
+    @pytest.mark.parametrize("index", CASES)
+    def test_streamed(self, index, tmp_path):
+        from repro.trace.scenario import compose_stream, compose_trace
+
+        case = self._case(index)
+        path = tmp_path / "fuzzed.fgt"
+        compose_stream(case.scenario, case.seed, path,
+                       chunk_records=512)
+        results = run_backend_grid(
+            lambda: build_system(("asan", "pmc", "shadow_stack"), 2),
+            lambda: StreamedTrace(path, chunk_records=512))
+        assert_identical(results)
+        # Streaming must match the in-memory composition exactly.
+        trace, _ = compose_trace(case.scenario, case.seed)
+        in_memory = SimulationSession(
+            build_system(("asan", "pmc", "shadow_stack"), 2),
+            dense=False, backend=BACKEND_VECTOR).run(trace)
+        assert results["vector"] == in_memory
+
+
 class TestBackendResolution:
     def test_constructor_argument_wins(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV, BACKEND_VECTOR)
